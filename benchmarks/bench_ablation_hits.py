@@ -1,0 +1,60 @@
+"""Ablation A2 -- HITS authorities vs PageRank.
+
+The paper picked PageRank citing earlier experiments [11] that found HITS
+and PageRank scores "highly correlated" on the ACM SIGMOD Anthology.
+This bench reproduces that claim on the synthetic corpus: Spearman rank
+correlation and top-10% overlap between HITS authority scores and
+PageRank scores, corpus-wide and per context, plus agreement of the two
+functions' full prestige maps via the library's :class:`HitsPrestige`.
+"""
+
+from conftest import write_result
+
+from repro.citations.hits import hits_scores
+from repro.citations.pagerank import pagerank
+from repro.eval.metrics import topk_overlap
+from repro.eval.stats import spearman
+
+
+def test_ablation_hits_vs_pagerank(benchmark, pipeline, results_dir):
+    graph = pipeline.citation_graph
+
+    def run():
+        global_pr = pagerank(graph).scores
+        global_hits = hits_scores(graph).authorities
+        global_rho = spearman(global_pr, global_hits)
+        global_overlap = topk_overlap(global_pr, global_hits, k_percent=0.1)
+        # Per-context agreement of the two prestige functions end-to-end.
+        pagerank_prestige = pipeline.prestige("citation", "pattern")
+        hits_prestige = pipeline.prestige("hits", "pattern")
+        per_context = []
+        for context_id in pagerank_prestige.context_ids():
+            if context_id not in hits_prestige:
+                continue
+            rho = spearman(
+                pagerank_prestige.of(context_id), hits_prestige.of(context_id)
+            )
+            if rho is not None:
+                per_context.append(rho)
+            if len(per_context) >= 40:
+                break
+        return global_rho, global_overlap, per_context
+
+    global_rho, global_overlap, per_context = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    mean_context_rho = (
+        sum(per_context) / len(per_context) if per_context else float("nan")
+    )
+    lines = [
+        f"corpus-wide Spearman rho:       {global_rho:.3f}",
+        f"corpus-wide top-10% overlap:    {global_overlap:.3f}",
+        f"per-context mean Spearman rho:  {mean_context_rho:.3f} "
+        f"({len(per_context)} contexts)",
+    ]
+    write_result(results_dir, "ablation_hits", "\n".join(lines))
+
+    assert global_rho > 0.5, "HITS and PageRank must correlate corpus-wide"
+    if per_context:
+        assert mean_context_rho > 0.3

@@ -1,0 +1,63 @@
+"""Ablation A1 -- the two teleport terms of section 3.1 (E1 vs E2) and a
+damping sweep.
+
+Section 3.1 offers ``E1 = d`` (constant) and ``E2 = (d/N) 1 P_i``
+(uniform redistribution) without choosing.  This bench verifies the
+choice is immaterial for ranking -- the two fixed points order papers
+identically on real per-context subgraphs -- and reports convergence
+iterations across damping values.
+"""
+
+from conftest import write_result
+
+from repro.citations.pagerank import TeleportKind, pagerank
+from repro.eval.metrics import topk_overlap
+
+
+def _contexts_with_edges(pipeline, limit=25):
+    graph = pipeline.citation_graph
+    chosen = []
+    for context in pipeline.experiment_paper_set("pattern"):
+        subgraph = graph.subgraph(context.paper_ids)
+        if subgraph.n_edges >= 5:
+            chosen.append(subgraph)
+        if len(chosen) >= limit:
+            break
+    return chosen
+
+
+def test_ablation_pagerank_teleport_and_damping(benchmark, pipeline, results_dir):
+    subgraphs = _contexts_with_edges(pipeline)
+    assert subgraphs, "no context subgraph with enough edges"
+
+    def run():
+        overlaps = []
+        iteration_rows = []
+        for subgraph in subgraphs:
+            e1 = pagerank(subgraph, teleport=TeleportKind.E1_CONSTANT)
+            e2 = pagerank(subgraph, teleport=TeleportKind.E2_UNIFORM)
+            value = topk_overlap(e1.scores, e2.scores, k_percent=0.1)
+            if value is not None:
+                overlaps.append(value)
+        for d in (0.05, 0.15, 0.30, 0.50):
+            iterations = [
+                pagerank(subgraph, d=d).iterations for subgraph in subgraphs
+            ]
+            iteration_rows.append((d, sum(iterations) / len(iterations)))
+        return overlaps, iteration_rows
+
+    overlaps, iteration_rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    mean_overlap = sum(overlaps) / len(overlaps)
+    lines = [
+        f"contexts sampled:            {len(subgraphs)}",
+        f"E1-vs-E2 top-10% overlap:    {mean_overlap:.3f}",
+        "damping sweep (d -> mean iterations to converge):",
+    ]
+    for d, iterations in iteration_rows:
+        lines.append(f"  d={d:.2f}: {iterations:.1f}")
+    write_result(results_dir, "ablation_pagerank", "\n".join(lines))
+
+    assert mean_overlap > 0.9, "E1 and E2 must produce near-identical rankings"
+    # Stronger teleport converges faster.
+    assert iteration_rows[-1][1] <= iteration_rows[0][1]

@@ -1,0 +1,63 @@
+"""Ablation A7 -- precision by query specificity.
+
+The paper's 120 queries map to GO terms at various depths; its per-level
+analyses (figures 5.3 and 5.5-5.7) suggest context depth matters.  This
+bench stratifies the query workload by the *source term level* the query
+was drawn from and reports precision per stratum: do specific (deep)
+queries benefit more from context-based ranking than broad ones?
+"""
+
+from conftest import _env_int, write_result
+
+from repro.datagen import generate_queries
+from repro.eval.ac_answer import ACAnswerBuilder
+from repro.eval.metrics import precision
+
+THRESHOLD = 0.3
+LEVEL_BANDS = ((2, 3), (4, 5), (6, 9))
+
+
+def test_ablation_query_difficulty(benchmark, pipeline, dataset, results_dir):
+    workload = generate_queries(
+        dataset,
+        n_queries=_env_int("REPRO_BENCH_QUERIES", 60),
+        seed=_env_int("REPRO_BENCH_SEED", 42),
+    )
+    ac_builder = ACAnswerBuilder(
+        pipeline.keyword_engine, pipeline.vectors, pipeline.citation_graph
+    )
+    engine = pipeline.search_engine("text", "text")
+
+    def run():
+        by_band = {band: [] for band in LEVEL_BANDS}
+        for item in workload:
+            level = dataset.ontology.level(item.source_term_id)
+            band = next(
+                (b for b in LEVEL_BANDS if b[0] <= level <= b[1]), None
+            )
+            if band is None:
+                continue
+            answers = ac_builder.build(item.query).papers
+            hits = engine.search(item.query)
+            surviving = [h.paper_id for h in hits if h.relevancy >= THRESHOLD]
+            value = precision(surviving, answers)
+            by_band[band].append(0.0 if value is None else value)
+        return {
+            band: (sum(values) / len(values), len(values))
+            for band, values in by_band.items()
+            if values
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert results, "no stratum received any query"
+
+    lines = [f"text scores, precision at t={THRESHOLD} by source-term level:"]
+    for (low, high), (avg, count) in sorted(results.items()):
+        lines.append(
+            f"  levels {low}-{high}: precision={avg:.3f}  ({count} queries)"
+        )
+    write_result(results_dir, "ablation_query_difficulty", "\n".join(lines))
+
+    for avg, count in results.values():
+        assert 0.0 <= avg <= 1.0
+        assert count > 0

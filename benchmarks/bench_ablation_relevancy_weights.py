@@ -1,0 +1,62 @@
+"""Ablation A6 -- the relevancy mixture R = w_p * prestige + w_m * match.
+
+Section 3 leaves w_prestige/w_matching open.  This bench sweeps the
+mixture for the text score function and reports precision at a fixed
+threshold with bootstrap confidence intervals, showing how much of the
+context-based search gain comes from prestige vs plain text matching.
+"""
+
+from conftest import write_result
+
+from repro.core.search import ContextSearchEngine
+from repro.eval.metrics import precision
+from repro.eval.stats import bootstrap_mean_ci
+
+THRESHOLD = 0.3
+MIXES = (0.0, 0.3, 0.5, 0.7, 0.9, 1.0)
+
+
+def test_ablation_relevancy_weights(
+    benchmark, pipeline, queries, precision_experiment, results_dir
+):
+    def run():
+        results = {}
+        for w_prestige in MIXES:
+            w_matching = 1.0 - w_prestige
+            if w_prestige == 0.0 and w_matching == 0.0:
+                continue
+            engine = ContextSearchEngine(
+                pipeline.ontology,
+                pipeline.text_paper_set,
+                pipeline.prestige("text", "text"),
+                pipeline.keyword_engine,
+                w_prestige=w_prestige,
+                w_matching=w_matching,
+            )
+            values = []
+            for query in queries:
+                answers = precision_experiment.answer_set(query)
+                hits = engine.search(query)
+                surviving = [h.paper_id for h in hits if h.relevancy >= THRESHOLD]
+                value = precision(surviving, answers)
+                values.append(0.0 if value is None else value)
+            results[w_prestige] = bootstrap_mean_ci(values, seed=0)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        f"text scores on text paper set, precision at t={THRESHOLD} "
+        "(mean [95% bootstrap CI]):"
+    ]
+    for w_prestige, (mean, low, high) in results.items():
+        lines.append(
+            f"  w_prestige={w_prestige:.1f} w_matching={1 - w_prestige:.1f}: "
+            f"{mean:.3f} [{low:.3f}, {high:.3f}]"
+        )
+    write_result(results_dir, "ablation_relevancy_weights", "\n".join(lines))
+
+    # Sanity: every mixture yields a valid precision; a prestige-aware mix
+    # must not be catastrophically worse than match-only ranking.
+    for mean, low, high in results.values():
+        assert 0.0 <= low <= mean <= high <= 1.0

@@ -1,0 +1,69 @@
+"""Ablation A5 -- context-selection strategies (task 3 of the paradigm).
+
+The paper selects contexts "automatically based on the search term" but
+does not specify how.  This bench compares the three implemented
+strategies -- keyword probe (default), term-name lookup (GoPubMed-style),
+and representative-similarity -- on precision at the figure-5.1 operating
+point and on how many queries find any context at all.
+"""
+
+from conftest import write_result
+
+from repro.core.search import ContextSearchEngine
+from repro.eval.metrics import precision
+
+THRESHOLD = 0.3
+
+
+def test_ablation_selection_strategies(
+    benchmark, pipeline, queries, precision_experiment, results_dir
+):
+    def make_engine(strategy):
+        kwargs = {}
+        if strategy == "representative":
+            kwargs = {
+                "vectors": pipeline.vectors,
+                "representatives": pipeline.representatives,
+            }
+        return ContextSearchEngine(
+            pipeline.ontology,
+            pipeline.text_paper_set,
+            pipeline.prestige("text", "text"),
+            pipeline.keyword_engine,
+            w_prestige=pipeline.w_prestige,
+            w_matching=pipeline.w_matching,
+            selection_strategy=strategy,
+            **kwargs,
+        )
+
+    def run():
+        results = {}
+        for strategy in ("probe", "name", "representative"):
+            engine = make_engine(strategy)
+            values = []
+            answered = 0
+            for query in queries:
+                answers = precision_experiment.answer_set(query)
+                hits = engine.search(query)
+                if hits:
+                    answered += 1
+                surviving = [h.paper_id for h in hits if h.relevancy >= THRESHOLD]
+                value = precision(surviving, answers)
+                values.append(0.0 if value is None else value)
+            results[strategy] = (sum(values) / len(values), answered)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [f"text scores, precision at t={THRESHOLD}, {len(queries)} queries:"]
+    for strategy, (avg, answered) in results.items():
+        lines.append(
+            f"  {strategy:<15} precision={avg:.3f}  queries-with-results={answered}"
+        )
+    write_result(results_dir, "ablation_selection", "\n".join(lines))
+
+    # The probe strategy must answer at least as many queries as pure
+    # term-name lookup (queries rarely contain exact term-name words).
+    assert results["probe"][1] >= results["name"][1]
+    for avg, _ in results.values():
+        assert 0.0 <= avg <= 1.0

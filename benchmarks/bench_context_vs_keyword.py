@@ -1,0 +1,36 @@
+"""Background claims from the paradigm paper [2] (quoted in section 1):
+
+"the context-based search approach was shown experimentally to reduce the
+query output size by up to 70% and increase the search result accuracy by
+up to 50%" relative to the PubMed-style keyword baseline.
+
+Runs :class:`BaselineComparisonExperiment` over the query workload and
+asserts the direction of both claims.
+"""
+
+from conftest import write_result
+
+from repro.eval.experiments import BaselineComparisonExperiment
+
+
+def test_context_search_vs_keyword_baseline(
+    benchmark, pipeline, queries, results_dir
+):
+    experiment = BaselineComparisonExperiment(pipeline, queries)
+
+    def run():
+        return experiment.run()
+
+    comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    write_result(results_dir, "context_vs_keyword", comparison.format_table())
+
+    # Paper shape: output shrinks substantially and accuracy improves.
+    assert comparison.mean_output_reduction > 0.2, (
+        f"expected sizeable reduction, got "
+        f"{comparison.mean_output_reduction:.1%}"
+    )
+    assert comparison.context_mean_precision > comparison.keyword_mean_precision, (
+        f"context precision {comparison.context_mean_precision:.3f} must "
+        f"beat keyword {comparison.keyword_mean_precision:.3f}"
+    )

@@ -1,0 +1,49 @@
+"""Figure 5.1 -- precision vs relevancy threshold, text-based context paper set.
+
+Paper series: average and median precision of the *text-based* and the
+*citation-based* score functions over ~120 queries, thresholds t in
+[0.05, 0.5].  Expected shape: text precision exceeds citation precision by
+>20% (relative) at moderate thresholds; citation average decays with t as
+queries start returning nothing.
+"""
+
+from conftest import write_result
+
+from repro.eval.ascii_plot import ascii_line_chart
+
+
+def test_fig_5_1_precision_text_paper_set(
+    benchmark, precision_experiment, results_dir
+):
+    def run():
+        text_curve = precision_experiment.run("text", "text")
+        citation_curve = precision_experiment.run("citation", "text")
+        return text_curve, citation_curve
+
+    text_curve, citation_curve = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    chart = ascii_line_chart(
+        {"text": text_curve.average, "citation": citation_curve.average},
+        x_labels=[f"{t:.2f}" for t in text_curve.thresholds],
+        y_max=1.0,
+    )
+    table = "\n\n".join(
+        [
+            text_curve.format_table(),
+            citation_curve.format_table(),
+            "average precision vs threshold:",
+            chart,
+        ]
+    )
+    write_result(results_dir, "fig_5_1", table)
+
+    # Shape assertions (moderate thresholds = 0.2..0.4).
+    moderate = [i for i, t in enumerate(text_curve.thresholds) if 0.2 <= t <= 0.4]
+    text_avg = sum(text_curve.average[i] for i in moderate) / len(moderate)
+    citation_avg = sum(citation_curve.average[i] for i in moderate) / len(moderate)
+    assert text_avg > citation_avg, (
+        f"text precision {text_avg:.3f} must beat citation {citation_avg:.3f}"
+    )
+    assert text_avg > 1.2 * citation_avg, "paper reports a >20% gap"
+    # Citation queries go empty as t rises (the paper's high-t dip).
+    assert citation_curve.empty_queries[-1] >= citation_curve.empty_queries[0]

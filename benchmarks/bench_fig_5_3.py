@@ -1,0 +1,69 @@
+"""Figure 5.3 -- average top-k% overlapping ratio per context level.
+
+Paper series (pattern-based context paper set; text scores assigned where
+a representative exists): three pairs x levels {3, 5, 7} x k in
+{5, 10, 15, 20}%.
+
+Expected shapes at small k:
+- text-citation overlap decreases as the level deepens;
+- citation-pattern overlap decreases as the level deepens;
+- text-pattern overlap *increases* with depth (they agree least near the
+  root, where representatives and patterns are both diffuse).
+"""
+
+from conftest import write_result
+
+from repro.eval.experiments import OverlapExperiment
+
+LEVELS = (3, 5, 7)
+
+
+def test_fig_5_3_topk_overlap_by_level(benchmark, pipeline, results_dir):
+    paper_set = pipeline.experiment_paper_set("pattern")
+    experiment = OverlapExperiment(paper_set, levels=LEVELS)
+
+    def run():
+        text = pipeline.prestige("text", "pattern")
+        citation = pipeline.prestige("citation", "pattern")
+        pattern = pipeline.prestige("pattern", "pattern")
+        return {
+            "text-citation": experiment.run(text, citation),
+            "text-pattern": experiment.run(text, pattern),
+            "citation-pattern": experiment.run(citation, pattern),
+        }
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    from repro.eval.ascii_plot import ascii_line_chart
+
+    chart = ascii_line_chart(
+        {
+            pair: [row[0] for row in result.values]  # k = 5% column
+            for pair, result in series.items()
+        },
+        x_labels=[f"L{lv}" for lv in LEVELS],
+    )
+    table = "\n\n".join(
+        [s.format_table() for s in series.values()]
+        + ["top-5% overlap vs context level:", chart]
+    )
+    write_result(results_dir, "fig_5_3", table)
+
+    def smallest_k(run_result, level):
+        index = run_result.levels.index(level)
+        return run_result.values[index][0]
+
+    for pair in ("text-citation", "citation-pattern"):
+        shallow = smallest_k(series[pair], LEVELS[0])
+        deep = smallest_k(series[pair], LEVELS[-1])
+        if shallow is not None and deep is not None:
+            assert deep < shallow, (
+                f"{pair} overlap must fall with depth: {shallow:.3f} -> {deep:.3f}"
+            )
+    shallow = smallest_k(series["text-pattern"], LEVELS[0])
+    deep = smallest_k(series["text-pattern"], LEVELS[-1])
+    if shallow is not None and deep is not None:
+        assert deep > shallow, (
+            "text-pattern overlap must rise with depth "
+            f"(agree least near the root): {shallow:.3f} -> {deep:.3f}"
+        )

@@ -1,0 +1,46 @@
+"""Figure 5.6 -- pattern-score SD histograms per level (pattern paper set).
+
+Paper observation: pattern separability is best in upper-level contexts
+and degrades with depth -- parents construct more patterns than children
+(more training text, more significant terms), and more patterns mean more
+distinct matching scores.
+"""
+
+from conftest import write_result
+
+from repro.eval.experiments import SeparabilityExperiment
+
+LEVELS = (3, 5, 7)
+
+
+def low_sd_share(histogram, cut=10.0):
+    return sum(percent for edge, percent in histogram if edge < cut)
+
+
+def test_fig_5_6_pattern_separability_by_level(benchmark, pipeline, results_dir):
+    paper_set = pipeline.experiment_paper_set("pattern")
+    experiment = SeparabilityExperiment(paper_set, levels=LEVELS)
+
+    def run():
+        return experiment.run(pipeline.prestige("pattern", "pattern"))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    from repro.eval.ascii_plot import ascii_histogram
+
+    lines = [result.format_table(), "", "per-level %contexts with SD < 10:"]
+    shares = {}
+    for level in LEVELS:
+        shares[level] = low_sd_share(result.histogram_by_level[level])
+        lines.append(f"  level {level}: {shares[level]:.1f}%")
+    for level in LEVELS:
+        lines.append(f"\nlevel {level} SD histogram:")
+        lines.append(ascii_histogram(result.histogram_by_level[level]))
+    write_result(results_dir, "fig_5_6", "\n".join(lines))
+
+    # Upper levels separate better than the deepest level.
+    assert shares[LEVELS[0]] >= shares[LEVELS[-1]], (
+        f"pattern separability must degrade with depth: "
+        f"{shares[LEVELS[0]]:.1f}% at level {LEVELS[0]} vs "
+        f"{shares[LEVELS[-1]]:.1f}% at level {LEVELS[-1]}"
+    )

@@ -1,0 +1,47 @@
+"""Figure 5.7 -- citation-score SD histograms per level (pattern paper set).
+
+Paper observation: citation separability is inversely proportional to the
+context level -- deeper contexts have sparser citation subgraphs, so
+PageRank assigns fewer unique scores and the distribution degenerates.
+"""
+
+from conftest import write_result
+
+from repro.eval.experiments import SeparabilityExperiment
+
+LEVELS = (3, 5, 7)
+
+
+def low_sd_share(histogram, cut=25.0):
+    return sum(percent for edge, percent in histogram if edge < cut)
+
+
+def test_fig_5_7_citation_separability_by_level(benchmark, pipeline, results_dir):
+    paper_set = pipeline.experiment_paper_set("pattern")
+    experiment = SeparabilityExperiment(paper_set, levels=LEVELS)
+
+    def run():
+        return experiment.run(pipeline.prestige("citation", "pattern"))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    from repro.eval.ascii_plot import ascii_histogram
+
+    lines = [result.format_table(), "", "per-level %contexts with SD < 25:"]
+    shares = {}
+    for level in LEVELS:
+        shares[level] = low_sd_share(result.histogram_by_level[level])
+        lines.append(f"  level {level}: {shares[level]:.1f}%")
+    for level in LEVELS:
+        lines.append(f"\nlevel {level} SD histogram:")
+        lines.append(ascii_histogram(result.histogram_by_level[level]))
+    write_result(results_dir, "fig_5_7", "\n".join(lines))
+
+    # Citation separability degrades with depth...
+    assert shares[LEVELS[0]] >= shares[LEVELS[-1]], (
+        f"citation separability must degrade with depth: "
+        f"{shares[LEVELS[0]]:.1f}% at level {LEVELS[0]} vs "
+        f"{shares[LEVELS[-1]]:.1f}% at level {LEVELS[-1]}"
+    )
+    # ...and is poor overall (most contexts near the degenerate SD).
+    assert result.mean_sd() > 20.0

@@ -1,0 +1,84 @@
+"""Component performance microbenchmarks.
+
+Unlike the figure benches (single-round experiment regeneration), these
+use pytest-benchmark's repeated timing to track the throughput of the
+hot components: analysis, indexing, vectorisation, PageRank, pattern
+scoring, and the search path.  Regressions here show up as timing shifts
+in the benchmark table rather than assertion failures.
+"""
+
+import pytest
+
+from repro.citations.pagerank import pagerank
+from repro.core.patterns import score_paper_against_patterns
+from repro.text.analyze import Analyzer
+
+
+@pytest.fixture(scope="module")
+def sample_text(dataset):
+    paper = next(iter(dataset.corpus))
+    return paper.all_text()
+
+
+def test_perf_analyzer(benchmark, sample_text):
+    """Tokenise + stopword + stem one full paper."""
+    analyzer = Analyzer()
+    result = benchmark(analyzer.analyze, sample_text)
+    assert result
+
+
+def test_perf_keyword_search(benchmark, pipeline, queries):
+    """One ranked keyword query over the full corpus."""
+    engine = pipeline.keyword_engine
+    query = queries[0]
+    result = benchmark(engine.search, query)
+    assert isinstance(result, list)
+
+
+def test_perf_full_vector(benchmark, pipeline):
+    """Whole-paper TF-IDF vectorisation (cold cache each round)."""
+    from repro.core.vectors import PaperVectorStore
+
+    paper_id = pipeline.corpus.paper_ids()[0]
+    _ = pipeline.vectors.full_model  # fit once outside the timer
+
+    def vectorise():
+        store = PaperVectorStore(pipeline.corpus, pipeline.index.analyzer)
+        store._full_model = pipeline.vectors.full_model
+        return store.full_vector(paper_id)
+
+    result = benchmark(vectorise)
+    assert len(result) > 0
+
+
+def test_perf_context_pagerank(benchmark, pipeline):
+    """PageRank on the largest context's citation subgraph."""
+    biggest = max(pipeline.pattern_paper_set, key=lambda c: c.size)
+    subgraph = pipeline.citation_graph.subgraph(biggest.paper_ids)
+    result = benchmark(pagerank, subgraph)
+    assert result.scores
+
+
+def test_perf_pattern_scoring(benchmark, pipeline):
+    """Score one paper against one context's pattern set."""
+    assigner = pipeline.pattern_assigner
+    term_id, pattern_set = next(
+        (tid, ps) for tid, ps in assigner.pattern_sets.items() if len(ps) > 0
+    )
+    paper_id = pipeline.pattern_paper_set.context(term_id).paper_ids[0]
+    result = benchmark(
+        score_paper_against_patterns,
+        pattern_set,
+        pipeline.tokens,
+        paper_id,
+        True,
+    )
+    assert result >= 0.0
+
+
+def test_perf_context_search(benchmark, pipeline, queries):
+    """The full context-based search path for one query."""
+    engine = pipeline.search_engine("text", "text")
+    query = queries[1]
+    result = benchmark(engine.search, query)
+    assert isinstance(result, list)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Faceted search front end: grouped results with snippets.
+
+The paradigm's actual user experience: results arrive *grouped by
+context* ("search results in each context are ranked by their relevancy
+scores"), each with a query-aware snippet -- what a digital-library UI
+would render.  Also demonstrates query expansion when the bare query is
+too narrow.
+
+Run:  python examples/faceted_search_ui.py
+"""
+
+from repro import build_demo_pipeline
+from repro.core.query_expansion import ContextQueryExpander
+from repro.index.snippets import best_snippet
+
+
+def main() -> None:
+    pipeline = build_demo_pipeline(seed=19, n_papers=700, n_terms=120)
+    engine = pipeline.search_engine("text", "text")
+
+    term_id = pipeline.ontology.terms_at_level(4)[0]
+    query = " ".join(pipeline.ontology.term(term_id).name_words()[:2])
+    print(f"Query: {query!r}\n")
+
+    groups = engine.search_grouped(query, max_contexts=3, per_context_limit=3)
+    if not groups:
+        print("no results")
+        return
+
+    for group in groups:
+        term = pipeline.ontology.term(group.context_id)
+        print(f"=== {term.name}  (selection strength {group.selection_strength:.3f})")
+        for hit in group.hits:
+            paper = pipeline.corpus.paper(hit.paper_id)
+            print(f"  {hit.relevancy:.3f}  [{hit.paper_id}] {paper.title[:55]}")
+            snippet = best_snippet(paper, query, window=14)
+            if snippet is not None:
+                print(f"          “{snippet.text[:90]}”")
+        print()
+
+    # Query expansion: grow the query with the selected contexts' shared
+    # vocabulary and compare the result counts.
+    expander = ContextQueryExpander(
+        pipeline.vectors, pipeline.representatives, max_added_terms=3
+    )
+    expanded = expander.expand(query, [g.context_id for g in groups])
+    before = len(engine.search(query))
+    after = len(engine.search(expanded))
+    print(f"query expansion: {query!r} -> {expanded!r}")
+    print(f"merged result count: {before} -> {after}")
+
+
+if __name__ == "__main__":
+    main()

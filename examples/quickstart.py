@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Quickstart: build a demo pipeline and run a context-based search.
+
+Generates a small seeded synthetic literature corpus (the stand-in for
+the paper's PubMed testbed), builds the text-based context paper set with
+text prestige scores, and runs one search end to end.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_demo_pipeline
+
+
+def main() -> None:
+    print("Building demo pipeline (seed=7, 600 papers, 100 contexts)...")
+    pipeline = build_demo_pipeline(seed=7, n_papers=600, n_terms=100)
+
+    # Pick a query from a real context's vocabulary so it finds something;
+    # with your own corpus you would just pass any free-text query.
+    term_id = pipeline.ontology.terms_at_level(3)[0]
+    term = pipeline.ontology.term(term_id)
+    query = " ".join(term.name_words()[:2])
+    print(f"Query: {query!r}  (inspired by context {term})\n")
+
+    engine = pipeline.search_engine(function="text", paper_set_name="text")
+    selections = engine.select_contexts(query, max_contexts=3)
+    print("Selected contexts:")
+    for selection in selections:
+        selected_term = pipeline.ontology.term(selection.context_id)
+        print(f"  {selected_term}  strength={selection.strength:.3f}")
+
+    print("\nTop results (relevancy = 0.7*prestige + 0.3*matching):")
+    for hit in engine.search(query, limit=8):
+        paper = pipeline.corpus.paper(hit.paper_id)
+        print(
+            f"  {hit.relevancy:.3f}  prestige={hit.prestige:.2f} "
+            f"match={hit.matching:.2f}  [{hit.paper_id}] {paper.title[:60]}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Shim so `python setup.py develop` works on environments without the
+`wheel` package (PEP 660 editable installs need bdist_wheel).  All real
+metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

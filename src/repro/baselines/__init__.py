@@ -1,0 +1,10 @@
+"""Comparator systems from the paper's related-work section.
+
+- :mod:`repro.baselines.gopubmed` -- the GoPubMed-style classifier
+  (section 6): categorise keyword-search results by Gene Ontology terms
+  whose words appear in paper *abstracts*, with no ranking or prestige.
+"""
+
+from repro.baselines.gopubmed import GoPubMedClassifier
+
+__all__ = ["GoPubMedClassifier"]

@@ -1,0 +1,33 @@
+"""Citation-analysis substrate.
+
+- :mod:`repro.citations.graph` -- the :class:`CitationGraph` and
+  per-context subgraph extraction.
+- :mod:`repro.citations.pagerank` -- the paper's PageRank variant
+  (``P_{i+1} = (1-d) M^T P_i + E`` with teleport options E1/E2).
+- :mod:`repro.citations.hits` -- Kleinberg's HITS (authorities/hubs),
+  used by the correlation ablation.
+- :mod:`repro.citations.coupling` -- bibliographic coupling (Kessler 1963)
+  and co-citation (Small 1973) similarities for the text-based score's
+  reference facet.
+"""
+
+from repro.citations.coupling import (
+    bibliographic_coupling,
+    citation_similarity,
+    cocitation,
+)
+from repro.citations.graph import CitationGraph
+from repro.citations.hits import HitsResult, hits_scores
+from repro.citations.pagerank import PageRankResult, TeleportKind, pagerank
+
+__all__ = [
+    "CitationGraph",
+    "pagerank",
+    "PageRankResult",
+    "TeleportKind",
+    "hits_scores",
+    "HitsResult",
+    "bibliographic_coupling",
+    "cocitation",
+    "citation_similarity",
+]

@@ -1,0 +1,92 @@
+"""Kleinberg's HITS algorithm (paper reference [9]).
+
+Section 3.1 describes authorities and hubs; the paper chose PageRank after
+earlier experiments [11] showed HITS and PageRank scores to be highly
+correlated on the ACM SIGMOD Anthology.  We implement HITS both for
+completeness and to reproduce that correlation claim as an ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.citations.graph import CitationGraph
+
+
+@dataclass
+class HitsResult:
+    """Converged authority and hub scores (each L2-normalised)."""
+
+    authorities: Dict[str, float]
+    hubs: Dict[str, float]
+    iterations: int
+    converged: bool
+
+    def top_authorities(self, k: int) -> List[str]:
+        ranked = sorted(
+            self.authorities.items(), key=lambda item: (-item[1], item[0])
+        )
+        return [node for node, _ in ranked[:k]]
+
+
+def hits_scores(
+    graph: CitationGraph,
+    max_iterations: int = 100,
+    tolerance: float = 1e-10,
+) -> HitsResult:
+    """Iterate authority/hub mutual reinforcement to a fixed point.
+
+    authority(v) ∝ Σ hub(u) over citing papers u;
+    hub(u)       ∝ Σ authority(v) over papers v cited by u.
+
+    Graphs with no edges return uniform scores immediately (the iteration
+    has nothing to reinforce and any normalised vector is a fixed point).
+    """
+    nodes = graph.nodes()
+    n = len(nodes)
+    if n == 0:
+        return HitsResult(authorities={}, hubs={}, iterations=0, converged=True)
+    index = {node: position for position, node in enumerate(nodes)}
+    if graph.n_edges == 0:
+        uniform = 1.0 / np.sqrt(n)
+        flat = {node: float(uniform) for node in nodes}
+        return HitsResult(authorities=dict(flat), hubs=dict(flat), iterations=0,
+                          converged=True)
+
+    in_lists = [[index[u] for u in graph.in_neighbors(node)] for node in nodes]
+    out_lists = [[index[v] for v in graph.out_neighbors(node)] for node in nodes]
+
+    authority = np.full(n, 1.0 / np.sqrt(n))
+    hub = np.full(n, 1.0 / np.sqrt(n))
+    iterations = 0
+    converged = False
+    for iterations in range(1, max_iterations + 1):
+        new_authority = np.array(
+            [sum(hub[u] for u in sources) for sources in in_lists]
+        )
+        norm = np.linalg.norm(new_authority)
+        if norm > 0:
+            new_authority /= norm
+        new_hub = np.array(
+            [sum(new_authority[v] for v in targets) for targets in out_lists]
+        )
+        norm = np.linalg.norm(new_hub)
+        if norm > 0:
+            new_hub /= norm
+        delta = float(
+            np.abs(new_authority - authority).sum() + np.abs(new_hub - hub).sum()
+        )
+        authority, hub = new_authority, new_hub
+        if delta < tolerance:
+            converged = True
+            break
+
+    return HitsResult(
+        authorities={node: float(authority[index[node]]) for node in nodes},
+        hubs={node: float(hub[index[node]]) for node in nodes},
+        iterations=iterations,
+        converged=converged,
+    )

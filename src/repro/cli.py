@@ -1,0 +1,335 @@
+"""Command-line interface.
+
+Subcommands mirror a deployment's life cycle:
+
+- ``repro generate``  -- synthesise a corpus + ontology + training map to
+  a data directory (the stand-in for parsing PubMed);
+- ``repro search``    -- run a context-based search against a data dir;
+- ``repro evaluate``  -- run the accuracy/separability evaluation and
+  print a summary;
+- ``repro precompute``-- build and persist context paper sets and
+  prestige scores (the paper's query-independent pre-processing).
+
+Example::
+
+    repro generate --papers 1200 --terms 250 --out data/
+    repro search --data data/ --query "dna repair kinase" --limit 10
+    repro evaluate --data data/ --queries 40
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.io import write_context_paper_set, write_prestige_scores
+from repro.corpus import write_corpus_jsonl
+from repro.datagen import CorpusGenerator, OntologyGenerator
+from repro.eval.experiments import PrecisionExperiment, SeparabilityExperiment
+from repro.ontology import write_obo
+from repro.pipeline import Pipeline
+
+CORPUS_FILE = "corpus.jsonl"
+ONTOLOGY_FILE = "ontology.obo"
+TRAINING_FILE = "training.json"
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    if args.preset:
+        from repro.datagen.presets import get_preset
+
+        generator = get_preset(args.preset).generator()
+    else:
+        generator = CorpusGenerator(
+            n_papers=args.papers,
+            ontology_generator=OntologyGenerator(
+                n_terms=args.terms, max_depth=args.max_depth
+            ),
+        )
+    dataset = generator.generate(seed=args.seed)
+    write_corpus_jsonl(dataset.corpus, out / CORPUS_FILE)
+    write_obo(dataset.ontology, out / ONTOLOGY_FILE)
+    with open(out / TRAINING_FILE, "w", encoding="utf-8") as handle:
+        json.dump(dataset.training_papers, handle)
+    print(
+        f"wrote {len(dataset.corpus)} papers, {len(dataset.ontology)} terms, "
+        f"training map -> {out}/"
+    )
+    return 0
+
+
+def _load_pipeline(data_dir: str) -> Pipeline:
+    try:
+        return Pipeline.from_directory(data_dir)
+    except FileNotFoundError as error:
+        raise SystemExit(f"error: {error}") from error
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    pipeline = _load_pipeline(args.data)
+    hits = pipeline.search(
+        args.query,
+        function=args.function,
+        paper_set_name=args.paper_set,
+        limit=args.limit,
+        threshold=args.threshold,
+    )
+    if not hits:
+        print("no results")
+        return 1
+    from repro.index.snippets import best_snippet
+
+    for hit in hits:
+        paper = pipeline.corpus.paper(hit.paper_id)
+        context = pipeline.ontology.term(hit.context_id)
+        print(
+            f"{hit.relevancy:.3f}  [{hit.paper_id}] {paper.title[:60]}\n"
+            f"        prestige={hit.prestige:.2f} match={hit.matching:.2f} "
+            f"context={context.term_id} ({context.name[:40]})"
+        )
+        snippet = best_snippet(paper, args.query)
+        if snippet is not None:
+            print(f"        {snippet.text[:100]}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    pipeline = _load_pipeline(args.data)
+    if args.report:
+        from repro.eval.report import generate_report
+
+        queries = _derive_queries(pipeline, args.queries)
+        if not queries:
+            print("error: could not derive queries", file=sys.stderr)
+            return 1
+        text = generate_report(pipeline, queries)
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"report written to {args.report}")
+        return 0
+    queries = _derive_queries(pipeline, args.queries)
+    if not queries:
+        print("error: could not derive queries from the ontology", file=sys.stderr)
+        return 1
+    experiment = PrecisionExperiment(
+        pipeline, queries, thresholds=(0.1, 0.2, 0.3, 0.4, 0.5)
+    )
+    print(f"evaluating {len(queries)} queries\n")
+    for function, paper_set in (
+        ("text", "text"),
+        ("citation", "text"),
+        ("pattern", "pattern"),
+        ("citation", "pattern"),
+    ):
+        curve = experiment.run(function, paper_set)
+        print(f"[{function} scores on {paper_set}-based paper set]")
+        print(curve.format_table())
+        print()
+    for function, paper_set in (("text", "text"), ("pattern", "pattern")):
+        result = SeparabilityExperiment(
+            pipeline.experiment_paper_set(paper_set)
+        ).run(pipeline.prestige(function, paper_set))
+        print(
+            f"separability[{function}/{paper_set}]: mean SD "
+            f"{result.mean_sd():.2f} over {len(result.sd_by_context)} contexts"
+        )
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    """Calibrate w_prestige / threshold on derived validation queries."""
+    from repro.core.tuning import RelevancyTuner
+
+    pipeline = _load_pipeline(args.data)
+    queries = _derive_queries(pipeline, args.queries)
+    if not queries:
+        print("error: could not derive queries", file=sys.stderr)
+        return 1
+    tuner = RelevancyTuner(
+        pipeline, queries, function=args.function, paper_set_name=args.paper_set
+    )
+    result = tuner.tune()
+    print(result.format_table())
+    print(
+        f"\nbest: w_prestige={result.best.w_prestige:.2f} "
+        f"threshold={result.best.threshold:.2f} (F1={result.best.f1:.3f})"
+    )
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Build a data directory from MEDLINE XML + OBO + GAF files."""
+    from repro.ingest.gaf import read_gaf_training_map
+    from repro.ingest.medline import read_medline_xml
+    from repro.ontology.obo import read_obo
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    corpus = read_medline_xml(args.medline)
+    ontology = read_obo(args.obo)
+    training = read_gaf_training_map(
+        args.gaf,
+        restrict_to_paper_ids=corpus.paper_ids(),
+        max_papers_per_term=args.max_training_per_term,
+    )
+    # Drop training entries for terms missing from the ontology so the
+    # pipeline never trips over an unknown context.
+    training = {tid: pids for tid, pids in training.items() if tid in ontology}
+    write_corpus_jsonl(corpus, out / CORPUS_FILE)
+    write_obo(ontology, out / ONTOLOGY_FILE)
+    with open(out / TRAINING_FILE, "w", encoding="utf-8") as handle:
+        json.dump(training, handle)
+    n_evidence = sum(len(p) for p in training.values())
+    print(
+        f"ingested {len(corpus)} papers, {len(ontology)} terms, "
+        f"{n_evidence} evidence links over {len(training)} terms -> {out}/"
+    )
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """Lint the corpus of a data directory; exit 1 on error findings."""
+    from repro.corpus.io import read_corpus_jsonl
+    from repro.corpus.validate import validate_corpus
+
+    corpus_path = Path(args.data) / CORPUS_FILE
+    if not corpus_path.exists():
+        raise SystemExit(f"error: {corpus_path} not found")
+    report = validate_corpus(read_corpus_jsonl(corpus_path))
+    print(report.summary())
+    if args.verbose:
+        for finding in report.findings:
+            print(f"  [{finding.severity}] {finding.paper_id}: {finding.message}")
+    return 0 if report.ok else 1
+
+
+def _derive_queries(pipeline: Pipeline, n_queries: int) -> List[str]:
+    """Topical workload from the loaded data itself: queries mix words of
+    mid-level term names (works for real GO data too)."""
+    queries: List[str] = []
+    for term_id in pipeline.ontology.term_ids():
+        if pipeline.ontology.level(term_id) >= 3:
+            words = [
+                w for w in pipeline.ontology.term(term_id).name_words()
+                if len(w) > 3
+            ]
+            if len(words) >= 2:
+                queries.append(" ".join(words[:3]))
+        if len(queries) >= n_queries:
+            break
+    return queries
+
+
+def _cmd_precompute(args: argparse.Namespace) -> int:
+    pipeline = _load_pipeline(args.data)
+    out = Path(args.data)
+    write_context_paper_set(pipeline.text_paper_set, out / "text_paper_set.json")
+    write_context_paper_set(
+        pipeline.pattern_paper_set, out / "pattern_paper_set.json"
+    )
+    for function, paper_set in (
+        ("text", "text"),
+        ("citation", "text"),
+        ("pattern", "pattern"),
+        ("citation", "pattern"),
+    ):
+        scores = pipeline.prestige(function, paper_set)
+        write_prestige_scores(
+            scores, out / f"scores_{function}_{paper_set}.json"
+        )
+    print(f"precomputed artefacts written to {out}/")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Context-based literature search (ICDE 2007 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="synthesise a dataset")
+    generate.add_argument("--papers", type=int, default=1200)
+    generate.add_argument("--terms", type=int, default=250)
+    generate.add_argument("--max-depth", type=int, default=7)
+    generate.add_argument(
+        "--preset",
+        choices=("tiny", "small", "default", "large", "paper"),
+        default=None,
+        help="named scale preset (overrides --papers/--terms/--max-depth)",
+    )
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", default="data")
+    generate.set_defaults(func=_cmd_generate)
+
+    search = subparsers.add_parser("search", help="context-based search")
+    search.add_argument("--data", default="data")
+    search.add_argument("--query", required=True)
+    search.add_argument(
+        "--function", choices=("text", "citation", "pattern"), default="text"
+    )
+    search.add_argument(
+        "--paper-set", choices=("text", "pattern"), default="text"
+    )
+    search.add_argument("--limit", type=int, default=10)
+    search.add_argument("--threshold", type=float, default=0.0)
+    search.set_defaults(func=_cmd_search)
+
+    evaluate = subparsers.add_parser("evaluate", help="run the evaluation")
+    evaluate.add_argument("--data", default="data")
+    evaluate.add_argument("--queries", type=int, default=30)
+    evaluate.add_argument(
+        "--report",
+        default=None,
+        help="write the full markdown evaluation report to this file",
+    )
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    precompute = subparsers.add_parser(
+        "precompute", help="persist paper sets and prestige scores"
+    )
+    precompute.add_argument("--data", default="data")
+    precompute.set_defaults(func=_cmd_precompute)
+
+    tune = subparsers.add_parser(
+        "tune", help="calibrate relevancy weights against AC answer sets"
+    )
+    tune.add_argument("--data", default="data")
+    tune.add_argument("--queries", type=int, default=20)
+    tune.add_argument(
+        "--function", choices=("text", "citation", "pattern", "hits"),
+        default="text",
+    )
+    tune.add_argument("--paper-set", choices=("text", "pattern"), default="text")
+    tune.set_defaults(func=_cmd_tune)
+
+    ingest = subparsers.add_parser(
+        "ingest", help="build a data dir from MEDLINE XML + OBO + GAF"
+    )
+    ingest.add_argument("--medline", required=True, help="PubMed XML export")
+    ingest.add_argument("--obo", required=True, help="Gene Ontology OBO file")
+    ingest.add_argument("--gaf", required=True, help="GO annotation (GAF) file")
+    ingest.add_argument("--max-training-per-term", type=int, default=10)
+    ingest.add_argument("--out", default="data")
+    ingest.set_defaults(func=_cmd_ingest)
+
+    validate = subparsers.add_parser("validate", help="lint a corpus file")
+    validate.add_argument("--data", default="data")
+    validate.add_argument("--verbose", action="store_true")
+    validate.set_defaults(func=_cmd_validate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

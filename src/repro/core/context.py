@@ -1,0 +1,142 @@
+"""Contexts and context paper sets.
+
+A *context* is an ontology term plus the set of papers assigned to it.
+A :class:`ContextPaperSet` is a full assignment of a corpus into contexts
+-- the artefact the two pre-processing builders of section 4 produce and
+every score function consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.ontology.ontology import Ontology
+
+
+@dataclass(frozen=True)
+class Context:
+    """One context: an ontology term with its assigned papers.
+
+    Attributes
+    ----------
+    term_id:
+        The ontology term this context represents.
+    paper_ids:
+        Papers assigned to the context, in assignment order.
+    training_paper_ids:
+        Annotation-evidence papers used to build patterns / pick the
+        representative.  Subset of the corpus, not necessarily of
+        ``paper_ids``.
+    inherited_from:
+        If the context had no papers of its own and inherited its closest
+        ancestor's paper set (section 4, pattern-based builder), the
+        ancestor's term id; otherwise None.
+    decay:
+        RateOfDecay applied to scores of inherited papers (1.0 when not
+        inherited).
+    """
+
+    term_id: str
+    paper_ids: Tuple[str, ...]
+    training_paper_ids: Tuple[str, ...] = ()
+    inherited_from: Optional[str] = None
+    decay: float = 1.0
+
+    @property
+    def size(self) -> int:
+        return len(self.paper_ids)
+
+    def __contains__(self, paper_id: str) -> bool:
+        return paper_id in set(self.paper_ids)
+
+
+class ContextPaperSet:
+    """An assignment of papers to ontology contexts."""
+
+    def __init__(self, ontology: Ontology, contexts: Iterable[Context]) -> None:
+        self.ontology = ontology
+        self._contexts: Dict[str, Context] = {}
+        for context in contexts:
+            if context.term_id not in ontology:
+                raise ValueError(
+                    f"context {context.term_id!r} is not an ontology term"
+                )
+            if context.term_id in self._contexts:
+                raise ValueError(f"duplicate context {context.term_id!r}")
+            self._contexts[context.term_id] = context
+        self._paper_to_contexts: Optional[Dict[str, Tuple[str, ...]]] = None
+
+    # -- access ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._contexts)
+
+    def __contains__(self, term_id: str) -> bool:
+        return term_id in self._contexts
+
+    def __iter__(self) -> Iterator[Context]:
+        return iter(self._contexts.values())
+
+    def context(self, term_id: str) -> Context:
+        """The context for ``term_id`` (KeyError if absent)."""
+        return self._contexts[term_id]
+
+    def context_ids(self) -> List[str]:
+        return list(self._contexts)
+
+    def contexts_of_paper(self, paper_id: str) -> Tuple[str, ...]:
+        """All context ids containing ``paper_id``."""
+        if self._paper_to_contexts is None:
+            reverse: Dict[str, List[str]] = {}
+            for context in self._contexts.values():
+                for pid in context.paper_ids:
+                    reverse.setdefault(pid, []).append(context.term_id)
+            self._paper_to_contexts = {
+                pid: tuple(cids) for pid, cids in reverse.items()
+            }
+        return self._paper_to_contexts.get(paper_id, ())
+
+    # -- filtering / statistics ---------------------------------------------------
+
+    def filter_small(self, min_size: int) -> "ContextPaperSet":
+        """Drop contexts with fewer than ``min_size`` papers.
+
+        The paper excludes small contexts ("<= 100 papers" at PubMed scale)
+        because their prestige scores are "potentially misleading".
+        """
+        return ContextPaperSet(
+            self.ontology,
+            [c for c in self._contexts.values() if c.size >= min_size],
+        )
+
+    def contexts_at_level(self, level: int) -> List[Context]:
+        """Contexts whose term sits at the given ontology level."""
+        return [
+            c
+            for c in self._contexts.values()
+            if self.ontology.level(c.term_id) == level
+        ]
+
+    def descendants_in_set(self, term_id: str) -> List[str]:
+        """Context ids in this set that are strict descendants of ``term_id``.
+
+        Used by hierarchy max-propagation of prestige scores (section 3).
+        """
+        return [
+            tid
+            for tid in self.ontology.descendants(term_id)
+            if tid in self._contexts
+        ]
+
+    def size_histogram(self) -> Dict[int, int]:
+        """Context count by paper-set size (diagnostics)."""
+        histogram: Dict[int, int] = {}
+        for context in self._contexts.values():
+            histogram[context.size] = histogram.get(context.size, 0) + 1
+        return histogram
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        sizes = [c.size for c in self._contexts.values()]
+        mean = sum(sizes) / len(sizes) if sizes else 0.0
+        return f"ContextPaperSet({len(self)} contexts, mean size {mean:.1f})"

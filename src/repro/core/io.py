@@ -1,0 +1,97 @@
+"""Persistence for expensive pipeline artefacts.
+
+Context paper sets and prestige scores take minutes to build on large
+corpora; these helpers serialise them to JSON so a deployment computes
+them once (the paper's "query independent pre-processing steps") and
+serves searches from disk thereafter.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.core.context import Context, ContextPaperSet
+from repro.core.scores.base import PrestigeScores
+from repro.ontology.ontology import Ontology
+
+PathLike = Union[str, Path]
+
+_PAPER_SET_FORMAT = "repro/context-paper-set/v1"
+_SCORES_FORMAT = "repro/prestige-scores/v1"
+
+
+def write_context_paper_set(paper_set: ContextPaperSet, path: PathLike) -> None:
+    """Serialise a context paper set (ontology is *not* embedded)."""
+    payload = {
+        "format": _PAPER_SET_FORMAT,
+        "contexts": [
+            {
+                "term_id": context.term_id,
+                "paper_ids": list(context.paper_ids),
+                "training_paper_ids": list(context.training_paper_ids),
+                "inherited_from": context.inherited_from,
+                "decay": context.decay,
+            }
+            for context in paper_set
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def read_context_paper_set(path: PathLike, ontology: Ontology) -> ContextPaperSet:
+    """Load a context paper set against the ontology it was built on.
+
+    Terms missing from ``ontology`` raise (a paper set only makes sense
+    with its ontology; silently dropping contexts would skew experiments).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("format") != _PAPER_SET_FORMAT:
+        raise ValueError(
+            f"{path}: not a context paper set file "
+            f"(format={payload.get('format')!r})"
+        )
+    contexts = [
+        Context(
+            term_id=raw["term_id"],
+            paper_ids=tuple(raw["paper_ids"]),
+            training_paper_ids=tuple(raw.get("training_paper_ids", ())),
+            inherited_from=raw.get("inherited_from"),
+            decay=float(raw.get("decay", 1.0)),
+        )
+        for raw in payload["contexts"]
+    ]
+    return ContextPaperSet(ontology, contexts)
+
+
+def write_prestige_scores(scores: PrestigeScores, path: PathLike) -> None:
+    """Serialise prestige scores (function name + per-context maps)."""
+    payload = {
+        "format": _SCORES_FORMAT,
+        "function": scores.function_name,
+        "by_context": {
+            context_id: scores.of(context_id)
+            for context_id in scores.context_ids()
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def read_prestige_scores(path: PathLike) -> PrestigeScores:
+    """Load prestige scores written by :func:`write_prestige_scores`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("format") != _SCORES_FORMAT:
+        raise ValueError(
+            f"{path}: not a prestige-scores file "
+            f"(format={payload.get('format')!r})"
+        )
+    by_context = {
+        context_id: {pid: float(v) for pid, v in scores.items()}
+        for context_id, scores in payload["by_context"].items()
+    }
+    return PrestigeScores(payload["function"], by_context)

@@ -1,0 +1,37 @@
+"""The three prestige score functions of section 3.
+
+- :mod:`repro.core.scores.base` -- the common interface, min-max
+  normalisation, and hierarchy max-propagation.
+- :mod:`repro.core.scores.citation` -- per-context PageRank (section 3.1).
+- :mod:`repro.core.scores.text` -- representative-paper multi-facet
+  similarity (section 3.2).
+- :mod:`repro.core.scores.pattern` -- pattern matching scores
+  (section 3.3).
+"""
+
+from repro.core.scores.base import (
+    NORMALIZERS,
+    PrestigeScoreFunction,
+    PrestigeScores,
+    max_normalize,
+    min_max_normalize,
+    propagate_max_over_descendants,
+)
+from repro.core.scores.citation import CitationPrestige
+from repro.core.scores.hits_prestige import HitsPrestige
+from repro.core.scores.pattern import PatternPrestige
+from repro.core.scores.text import FacetWeights, TextPrestige
+
+__all__ = [
+    "PrestigeScoreFunction",
+    "PrestigeScores",
+    "NORMALIZERS",
+    "max_normalize",
+    "min_max_normalize",
+    "propagate_max_over_descendants",
+    "CitationPrestige",
+    "HitsPrestige",
+    "TextPrestige",
+    "FacetWeights",
+    "PatternPrestige",
+]

@@ -1,0 +1,409 @@
+"""The context-based search engine (tasks 3-5 of the paradigm).
+
+Search proceeds exactly as section 5.1 describes:
+
+1. *select contexts automatically based on the search term* -- contexts
+   are ranked by how strongly their papers respond to a keyword probe of
+   the query (weighted by hit score), with a bonus for query words
+   appearing in the context term name;
+2. *search within selected contexts* -- each paper in a selected context
+   gets the section-3 relevancy score
+       R(p, q, ci) = w_prestige * prestige(p, ci) + w_matching * match(p, q)
+   and papers below the relevancy threshold are dropped;
+3. *merge search results from different contexts into a single result
+   set* -- a paper appearing in several contexts keeps its best relevancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.context import ContextPaperSet
+from repro.core.scores.base import PrestigeScores
+from repro.core.vectors import PaperVectorStore
+from repro.index.search import KeywordSearchEngine
+from repro.ontology.ontology import Ontology
+
+#: Available context-selection strategies (task 3 of the paradigm):
+#: - "probe": rank contexts by how strongly their papers respond to a
+#:   keyword probe of the query (weighted by hit score) plus a term-name
+#:   bonus -- the default, works for any paper set;
+#: - "name": rank purely by overlap between query terms and the context
+#:   term's name words -- cheapest, mirrors GoPubMed-style term lookup;
+#: - "representative": rank by cosine similarity between the query vector
+#:   and each context representative's full-text vector -- needs a vector
+#:   store and a representatives map.
+SELECTION_STRATEGIES = ("probe", "name", "representative")
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One merged search result."""
+
+    paper_id: str
+    context_id: str
+    relevancy: float
+    prestige: float
+    matching: float
+
+
+@dataclass(frozen=True)
+class ContextSelection:
+    """One selected context with its selection strength (diagnostics)."""
+
+    context_id: str
+    strength: float
+
+
+@dataclass(frozen=True)
+class ContextResultGroup:
+    """Search results of one context, before cross-context merging.
+
+    This is the presentation the paradigm actually envisions -- "search
+    results in each context are ranked by their relevancy scores" -- with
+    merging (:meth:`ContextSearchEngine.search`) as the flattened view.
+    """
+
+    context_id: str
+    selection_strength: float
+    hits: Tuple[SearchHit, ...]
+
+    def __len__(self) -> int:
+        return len(self.hits)
+
+
+class ContextSearchEngine:
+    """Context-based search over one context paper set + prestige scores.
+
+    Parameters
+    ----------
+    w_prestige / w_matching:
+        The relevancy mixture weights of section 3.  Defaults split evenly;
+        experiments sweep them.
+    probe_depth:
+        How many keyword hits feed context selection.
+    name_bonus:
+        Additive bonus per query word found in a context's term name
+        during selection.
+    """
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        paper_set: ContextPaperSet,
+        prestige: PrestigeScores,
+        keyword_engine: KeywordSearchEngine,
+        w_prestige: float = 0.5,
+        w_matching: float = 0.5,
+        probe_depth: int = 200,
+        name_bonus: float = 0.1,
+        selection_strategy: str = "probe",
+        vectors: "PaperVectorStore | None" = None,
+        representatives: "dict | None" = None,
+    ) -> None:
+        if w_prestige < 0 or w_matching < 0 or (w_prestige + w_matching) == 0:
+            raise ValueError(
+                "w_prestige and w_matching must be >= 0 and not both zero"
+            )
+        if selection_strategy not in SELECTION_STRATEGIES:
+            raise ValueError(
+                f"selection_strategy must be one of {SELECTION_STRATEGIES}, "
+                f"got {selection_strategy!r}"
+            )
+        if selection_strategy == "representative" and (
+            vectors is None or not representatives
+        ):
+            raise ValueError(
+                "the 'representative' strategy needs vectors and a "
+                "non-empty representatives map"
+            )
+        self.ontology = ontology
+        self.paper_set = paper_set
+        self.prestige = prestige
+        self.keyword_engine = keyword_engine
+        self.w_prestige = w_prestige
+        self.w_matching = w_matching
+        self.probe_depth = probe_depth
+        self.name_bonus = name_bonus
+        self.selection_strategy = selection_strategy
+        self.vectors = vectors
+        self.representatives = dict(representatives) if representatives else {}
+
+    # -- task 3: context selection ---------------------------------------------------
+
+    def select_contexts(
+        self, query: str, max_contexts: int = 5
+    ) -> List[ContextSelection]:
+        """Rank contexts for the query with the configured strategy."""
+        if self.selection_strategy == "name":
+            return self._select_by_name(query, max_contexts)
+        if self.selection_strategy == "representative":
+            return self._select_by_representative(query, max_contexts)
+        return self._select_by_probe(query, max_contexts)
+
+    def _select_by_probe(
+        self, query: str, max_contexts: int
+    ) -> List[ContextSelection]:
+        """Rank contexts by keyword-probe response plus term-name overlap."""
+        probe = self.keyword_engine.search(query, limit=self.probe_depth)
+        probe_scores = {hit.paper_id: hit.score for hit in probe}
+        analyzer = self.keyword_engine.index.analyzer
+        query_terms = set(analyzer.analyze(query))
+        strengths: Dict[str, float] = {}
+        for context in self.paper_set:
+            strength = 0.0
+            for paper_id in context.paper_ids:
+                hit = probe_scores.get(paper_id)
+                if hit is not None:
+                    strength += hit
+            if strength == 0.0:
+                continue
+            # Normalise by context size so huge contexts don't always win.
+            strength /= max(len(context.paper_ids) ** 0.5, 1.0)
+            if query_terms:
+                name_terms = set(
+                    analyzer.analyze(self.ontology.term(context.term_id).name)
+                )
+                strength += self.name_bonus * len(query_terms & name_terms)
+            strengths[context.term_id] = strength
+        return self._ranked_selections(strengths, max_contexts)
+
+    def _select_by_name(
+        self, query: str, max_contexts: int
+    ) -> List[ContextSelection]:
+        """Rank by query-term overlap with context term names only.
+
+        The GoPubMed-style lookup the related-work section describes:
+        cheap, but blind to contexts whose names share no word with the
+        query.
+        """
+        analyzer = self.keyword_engine.index.analyzer
+        query_terms = set(analyzer.analyze(query))
+        if not query_terms:
+            return []
+        strengths: Dict[str, float] = {}
+        for context in self.paper_set:
+            name_terms = set(
+                analyzer.analyze(self.ontology.term(context.term_id).name)
+            )
+            shared = query_terms & name_terms
+            if shared:
+                strengths[context.term_id] = len(shared) / len(query_terms)
+        return self._ranked_selections(strengths, max_contexts)
+
+    def _select_by_representative(
+        self, query: str, max_contexts: int
+    ) -> List[ContextSelection]:
+        """Rank by cosine similarity to each context's representative paper."""
+        assert self.vectors is not None
+        query_vector = self.vectors.query_vector(query)
+        if not query_vector:
+            return []
+        strengths: Dict[str, float] = {}
+        for context in self.paper_set:
+            representative = self.representatives.get(context.term_id)
+            if representative is None:
+                continue
+            similarity = query_vector.cosine(
+                self.vectors.full_vector(representative)
+            )
+            if similarity > 0.0:
+                strengths[context.term_id] = similarity
+        return self._ranked_selections(strengths, max_contexts)
+
+    @staticmethod
+    def _ranked_selections(
+        strengths: Dict[str, float], max_contexts: int
+    ) -> List[ContextSelection]:
+        ranked = sorted(strengths.items(), key=lambda item: (-item[1], item[0]))
+        return [
+            ContextSelection(context_id=cid, strength=value)
+            for cid, value in ranked[:max_contexts]
+        ]
+
+    # -- tasks 4 & 5: search and rank -------------------------------------------------
+
+    def search(
+        self,
+        query: str,
+        max_contexts: int = 5,
+        threshold: float = 0.0,
+        limit: Optional[int] = None,
+        contexts: Optional[Sequence[str]] = None,
+    ) -> List[SearchHit]:
+        """Full context-based search: select, score, threshold, merge.
+
+        ``contexts`` overrides automatic selection (used by experiments
+        that fix the context of interest).
+        """
+        if contexts is None:
+            selected = [s.context_id for s in self.select_contexts(query, max_contexts)]
+        else:
+            selected = [cid for cid in contexts if cid in self.paper_set]
+        if not selected:
+            return []
+        match_scores = {
+            hit.paper_id: hit.score
+            for hit in self.keyword_engine.search(query)
+        }
+        best: Dict[str, SearchHit] = {}
+        for context_id in selected:
+            context = self.paper_set.context(context_id)
+            context_prestige = self.prestige.of(context_id)
+            for paper_id in context.paper_ids:
+                matching = match_scores.get(paper_id, 0.0)
+                if matching == 0.0:
+                    # A paper with no textual response to the query is not
+                    # a search result, however prestigious.
+                    continue
+                prestige = context_prestige.get(paper_id, 0.0)
+                relevancy = (
+                    self.w_prestige * prestige + self.w_matching * matching
+                )
+                if relevancy < threshold:
+                    continue
+                current = best.get(paper_id)
+                if current is None or relevancy > current.relevancy:
+                    best[paper_id] = SearchHit(
+                        paper_id=paper_id,
+                        context_id=context_id,
+                        relevancy=relevancy,
+                        prestige=prestige,
+                        matching=matching,
+                    )
+        hits = sorted(best.values(), key=lambda h: (-h.relevancy, h.paper_id))
+        if limit is not None:
+            hits = hits[:limit]
+        return hits
+
+    def search_grouped(
+        self,
+        query: str,
+        max_contexts: int = 5,
+        threshold: float = 0.0,
+        per_context_limit: Optional[int] = None,
+    ) -> List[ContextResultGroup]:
+        """Search and return results *grouped by context* (unmerged).
+
+        Groups come back in selection-strength order; a paper appearing in
+        several selected contexts appears in each group with that
+        context's prestige.  Empty groups (no paper cleared the threshold)
+        are dropped.
+        """
+        selections = self.select_contexts(query, max_contexts)
+        if not selections:
+            return []
+        match_scores = {
+            hit.paper_id: hit.score for hit in self.keyword_engine.search(query)
+        }
+        groups: List[ContextResultGroup] = []
+        for selection in selections:
+            context = self.paper_set.context(selection.context_id)
+            context_prestige = self.prestige.of(selection.context_id)
+            hits = []
+            for paper_id in context.paper_ids:
+                matching = match_scores.get(paper_id, 0.0)
+                if matching == 0.0:
+                    continue
+                prestige = context_prestige.get(paper_id, 0.0)
+                relevancy = (
+                    self.w_prestige * prestige + self.w_matching * matching
+                )
+                if relevancy < threshold:
+                    continue
+                hits.append(
+                    SearchHit(
+                        paper_id=paper_id,
+                        context_id=selection.context_id,
+                        relevancy=relevancy,
+                        prestige=prestige,
+                        matching=matching,
+                    )
+                )
+            hits.sort(key=lambda h: (-h.relevancy, h.paper_id))
+            if per_context_limit is not None:
+                hits = hits[:per_context_limit]
+            if hits:
+                groups.append(
+                    ContextResultGroup(
+                        context_id=selection.context_id,
+                        selection_strength=selection.strength,
+                        hits=tuple(hits),
+                    )
+                )
+        return groups
+
+    def result_ids(self, query: str, **kwargs) -> List[str]:
+        """Convenience: just the merged paper ids, best first."""
+        return [hit.paper_id for hit in self.search(query, **kwargs)]
+
+    # -- explanation -------------------------------------------------------------------
+
+    def explain(
+        self, query: str, paper_id: str, max_contexts: int = 5
+    ) -> "RankingExplanation":
+        """Why (or why not) ``paper_id`` ranks for ``query``.
+
+        Returns the matching score, the paper's prestige in every selected
+        context that contains it, the winning context, and the resulting
+        relevancy -- the decomposition a relevance engineer needs when a
+        ranking surprises them.
+        """
+        selections = self.select_contexts(query, max_contexts)
+        matching = self.keyword_engine.match_score(query, paper_id)
+        per_context: List[Tuple[str, float, float]] = []
+        for selection in selections:
+            context = self.paper_set.context(selection.context_id)
+            if paper_id not in context:
+                continue
+            prestige = self.prestige.score(selection.context_id, paper_id)
+            relevancy = self.w_prestige * prestige + self.w_matching * matching
+            per_context.append((selection.context_id, prestige, relevancy))
+        per_context.sort(key=lambda row: (-row[2], row[0]))
+        return RankingExplanation(
+            query=query,
+            paper_id=paper_id,
+            matching=matching,
+            selected_context_ids=tuple(s.context_id for s in selections),
+            in_selected_contexts=tuple(per_context),
+            best_relevancy=per_context[0][2] if per_context else None,
+        )
+
+
+@dataclass(frozen=True)
+class RankingExplanation:
+    """Relevancy decomposition for one (query, paper) pair."""
+
+    query: str
+    paper_id: str
+    matching: float
+    #: Every context the selector chose for this query.
+    selected_context_ids: Tuple[str, ...]
+    #: (context_id, prestige, relevancy) for selected contexts holding
+    #: the paper, best first.
+    in_selected_contexts: Tuple[Tuple[str, float, float], ...]
+    #: Relevancy in the winning context; None when the paper is in no
+    #: selected context (it cannot appear in results at all).
+    best_relevancy: Optional[float]
+
+    @property
+    def retrievable(self) -> bool:
+        """Could this paper appear in the merged results for the query?"""
+        return self.best_relevancy is not None and self.matching > 0.0
+
+    def format(self) -> str:
+        lines = [
+            f"query={self.query!r} paper={self.paper_id}",
+            f"  text matching score: {self.matching:.3f}",
+            f"  selected contexts:   {', '.join(self.selected_context_ids) or '(none)'}",
+        ]
+        if not self.in_selected_contexts:
+            lines.append("  paper is in NO selected context -> never returned")
+        for context_id, prestige, relevancy in self.in_selected_contexts:
+            lines.append(
+                f"  in {context_id}: prestige={prestige:.3f} -> relevancy={relevancy:.3f}"
+            )
+        if not self.retrievable:
+            lines.append("  verdict: not retrievable for this query")
+        return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Per-section TF-IDF vector store.
+
+One shared component builds and caches every paper vector the text
+machinery needs: per-section vectors for the section 3.2 similarity
+facets, and whole-paper vectors for representative selection, context
+assignment, and AC-answer-set centroid expansion.
+
+Each textual section gets its *own* TF-IDF model (title term statistics
+differ wildly from body statistics), plus one model over concatenated
+text.  Vectors are computed lazily and memoised -- contexts overlap
+heavily, so most papers are vectorised once but consumed many times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.paper import Section, TEXT_SECTIONS
+from repro.text.analyze import Analyzer, default_analyzer
+from repro.text.vectorize import SparseVector, TfidfModel, centroid
+
+
+class PaperVectorStore:
+    """Lazy per-section and whole-paper TF-IDF vectors for a corpus."""
+
+    def __init__(self, corpus: Corpus, analyzer: Optional[Analyzer] = None) -> None:
+        self.corpus = corpus
+        self.analyzer = analyzer if analyzer is not None else default_analyzer()
+        self._section_models: Dict[Section, TfidfModel] = {}
+        self._full_model: Optional[TfidfModel] = None
+        self._section_vectors: Dict[Section, Dict[str, SparseVector]] = {
+            section: {} for section in TEXT_SECTIONS
+        }
+        self._full_vectors: Dict[str, SparseVector] = {}
+
+    # -- models -----------------------------------------------------------------
+
+    def section_model(self, section: Section) -> TfidfModel:
+        """The TF-IDF model fit over one section of every corpus paper."""
+        model = self._section_models.get(section)
+        if model is None:
+            model = TfidfModel()
+            model.fit(
+                self.analyzer.analyze(paper.section_text(section))
+                for paper in self.corpus
+            )
+            self._section_models[section] = model
+        return model
+
+    @property
+    def full_model(self) -> TfidfModel:
+        """The TF-IDF model over whole-paper (all sections) text."""
+        if self._full_model is None:
+            model = TfidfModel()
+            model.fit(self.analyzer.analyze(paper.all_text()) for paper in self.corpus)
+            self._full_model = model
+        return self._full_model
+
+    # -- vectors ----------------------------------------------------------------
+
+    def section_vector(self, paper_id: str, section: Section) -> SparseVector:
+        """Unit TF-IDF vector of one paper section (empty if no text)."""
+        cache = self._section_vectors[section]
+        vector = cache.get(paper_id)
+        if vector is None:
+            model = self.section_model(section)
+            text = self.corpus.paper(paper_id).section_text(section)
+            vector = model.vectorize(self.analyzer.analyze(text))
+            cache[paper_id] = vector
+        return vector
+
+    def full_vector(self, paper_id: str) -> SparseVector:
+        """Unit TF-IDF vector of the paper's full text."""
+        vector = self._full_vectors.get(paper_id)
+        if vector is None:
+            vector = self.full_model.vectorize(
+                self.analyzer.analyze(self.corpus.paper(paper_id).all_text())
+            )
+            self._full_vectors[paper_id] = vector
+        return vector
+
+    def query_vector(self, text: str) -> SparseVector:
+        """Vectorise free text against the whole-paper model."""
+        return self.full_model.vectorize(self.analyzer.analyze(text))
+
+    def centroid_of(self, paper_ids: Iterable[str]) -> SparseVector:
+        """Centroid of the whole-paper vectors of ``paper_ids``."""
+        return centroid(self.full_vector(pid) for pid in paper_ids)
+
+    def section_similarity(
+        self, paper_a: str, paper_b: str, section: Section
+    ) -> float:
+        """Cosine similarity of one section across two papers."""
+        return self.section_vector(paper_a, section).cosine(
+            self.section_vector(paper_b, section)
+        )
+
+    def full_similarity(self, paper_a: str, paper_b: str) -> float:
+        """Cosine similarity of whole-paper vectors."""
+        return self.full_vector(paper_a).cosine(self.full_vector(paper_b))

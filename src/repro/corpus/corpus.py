@@ -1,0 +1,158 @@
+"""The corpus container: papers plus derived lookup structures."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.corpus.paper import Paper
+
+
+class CorpusError(ValueError):
+    """Raised for duplicate ids and lookups of unknown papers."""
+
+
+class Corpus:
+    """An in-memory collection of :class:`Paper` with citation/author indexes.
+
+    The container is append-only: papers can be added until the first
+    consumer asks for a derived index, after which it is conventionally
+    treated as frozen (derived indexes are built lazily and cached; adding
+    papers afterwards invalidates them automatically).
+    """
+
+    def __init__(self, papers: Optional[Iterable[Paper]] = None) -> None:
+        self._papers: Dict[str, Paper] = {}
+        self._outgoing: Optional[Dict[str, Tuple[str, ...]]] = None
+        self._incoming: Optional[Dict[str, Tuple[str, ...]]] = None
+        self._by_author: Optional[Dict[str, Tuple[str, ...]]] = None
+        if papers is not None:
+            for paper in papers:
+                self.add(paper)
+
+    # -- construction -----------------------------------------------------------
+
+    def add(self, paper: Paper) -> None:
+        """Add one paper; duplicate ids are an error."""
+        if paper.paper_id in self._papers:
+            raise CorpusError(f"duplicate paper id {paper.paper_id!r}")
+        self._papers[paper.paper_id] = paper
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._outgoing = None
+        self._incoming = None
+        self._by_author = None
+
+    # -- basic access -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._papers)
+
+    def __contains__(self, paper_id: str) -> bool:
+        return paper_id in self._papers
+
+    def __iter__(self) -> Iterator[Paper]:
+        return iter(self._papers.values())
+
+    def paper(self, paper_id: str) -> Paper:
+        """Return the paper with ``paper_id`` (CorpusError if absent)."""
+        try:
+            return self._papers[paper_id]
+        except KeyError:
+            raise CorpusError(f"unknown paper id {paper_id!r}") from None
+
+    def paper_ids(self) -> List[str]:
+        """All paper ids in insertion order."""
+        return list(self._papers)
+
+    # -- citation structure ---------------------------------------------------------
+
+    def references_of(self, paper_id: str) -> Tuple[str, ...]:
+        """*Resolvable* references of a paper (dangling refs dropped).
+
+        A real parse of 72k full-text papers yields many references to
+        papers outside the downloaded set; like the paper's testbed we keep
+        only edges where both endpoints are in the corpus.
+        """
+        self._ensure_citation_maps()
+        assert self._outgoing is not None
+        return self._outgoing.get(paper_id, ())
+
+    def citations_of(self, paper_id: str) -> Tuple[str, ...]:
+        """Ids of corpus papers citing ``paper_id``."""
+        self._ensure_citation_maps()
+        assert self._incoming is not None
+        return self._incoming.get(paper_id, ())
+
+    def dangling_references(self) -> Dict[str, Tuple[str, ...]]:
+        """References pointing outside the corpus, per paper (diagnostics)."""
+        result: Dict[str, Tuple[str, ...]] = {}
+        for paper in self:
+            missing = tuple(r for r in paper.references if r not in self._papers)
+            if missing:
+                result[paper.paper_id] = missing
+        return result
+
+    def _ensure_citation_maps(self) -> None:
+        if self._outgoing is not None:
+            return
+        outgoing: Dict[str, Tuple[str, ...]] = {}
+        incoming_lists: Dict[str, List[str]] = {pid: [] for pid in self._papers}
+        for paper in self._papers.values():
+            resolvable = tuple(
+                ref
+                for ref in paper.references
+                if ref in self._papers and ref != paper.paper_id
+            )
+            outgoing[paper.paper_id] = resolvable
+            for ref in resolvable:
+                incoming_lists[ref].append(paper.paper_id)
+        self._outgoing = outgoing
+        self._incoming = {pid: tuple(v) for pid, v in incoming_lists.items()}
+
+    # -- author structure -------------------------------------------------------------
+
+    def papers_by_author(self, author: str) -> Tuple[str, ...]:
+        """Ids of papers with ``author`` in their author list."""
+        self._ensure_author_index()
+        assert self._by_author is not None
+        return self._by_author.get(author, ())
+
+    def authors(self) -> List[str]:
+        """All distinct author names, sorted."""
+        self._ensure_author_index()
+        assert self._by_author is not None
+        return sorted(self._by_author)
+
+    def coauthors_of(self, paper_id: str) -> Set[str]:
+        """Authors who co-wrote *any* paper with any author of ``paper_id``.
+
+        This is the "third paper" relation behind Level-1 author overlap
+        (section 3.2): authors(p) ∪-expanded one co-authorship hop.
+        """
+        self._ensure_author_index()
+        assert self._by_author is not None
+        result: Set[str] = set()
+        for author in self.paper(paper_id).authors:
+            for other_id in self._by_author.get(author, ()):
+                result.update(self._papers[other_id].authors)
+        result.difference_update(self.paper(paper_id).authors)
+        return result
+
+    def _ensure_author_index(self) -> None:
+        if self._by_author is not None:
+            return
+        index: Dict[str, List[str]] = {}
+        for paper in self._papers.values():
+            for author in dict.fromkeys(paper.authors):  # dedupe, keep order
+                index.setdefault(author, []).append(paper.paper_id)
+        self._by_author = {name: tuple(ids) for name, ids in index.items()}
+
+    # -- bulk views ---------------------------------------------------------------------
+
+    def subset(self, paper_ids: Iterable[str]) -> "Corpus":
+        """A new corpus containing only ``paper_ids`` (order preserved)."""
+        return Corpus(self.paper(pid) for pid in paper_ids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Corpus({len(self)} papers)"

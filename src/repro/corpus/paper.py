@@ -1,0 +1,122 @@
+"""The paper record: the unit the whole system ranks."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+class Section(str, enum.Enum):
+    """Textual facets of a paper (section 3.2's similarity components).
+
+    ``AUTHORS`` and ``REFERENCES`` are *set-valued* facets: similarity over
+    them uses overlap measures rather than TF-IDF cosine.
+    """
+
+    TITLE = "title"
+    ABSTRACT = "abstract"
+    BODY = "body"
+    INDEX_TERMS = "index_terms"
+    AUTHORS = "authors"
+    REFERENCES = "references"
+
+
+#: The facets carrying free text (vectorised with TF-IDF).
+TEXT_SECTIONS: Tuple[Section, ...] = (
+    Section.TITLE,
+    Section.ABSTRACT,
+    Section.BODY,
+    Section.INDEX_TERMS,
+)
+
+
+@dataclass(frozen=True)
+class Paper:
+    """One publication.
+
+    Attributes
+    ----------
+    paper_id:
+        Stable identifier (PubMed-id-like string, e.g. ``"P0001234"``).
+    title, abstract, body:
+        Raw section text.
+    index_terms:
+        Keyword/MeSH-style index terms.
+    authors:
+        Ordered author names (duplicates removed by the corpus on load).
+    references:
+        Cited paper ids.  References may point outside the corpus
+        (dangling); the citation graph keeps only resolvable edges but the
+        paper record preserves the full list, as a real parser would.
+    year:
+        Publication year (used only for PubMed-style recency ordering in
+        the keyword baseline).
+    true_context_ids:
+        *Generator ground truth only*: the ontology terms this paper was
+        synthesised from.  Empty for real data.  Evaluation uses this to
+        validate AC-answer sets, never to compute scores.
+    """
+
+    paper_id: str
+    title: str
+    abstract: str = ""
+    body: str = ""
+    index_terms: Tuple[str, ...] = field(default_factory=tuple)
+    authors: Tuple[str, ...] = field(default_factory=tuple)
+    references: Tuple[str, ...] = field(default_factory=tuple)
+    year: int = 2000
+    true_context_ids: Tuple[str, ...] = field(default_factory=tuple)
+
+    def section_text(self, section: Section) -> str:
+        """Raw text of a *textual* section (joined for index terms).
+
+        Raises ValueError for the set-valued facets, which have no single
+        text representation.
+        """
+        if section is Section.TITLE:
+            return self.title
+        if section is Section.ABSTRACT:
+            return self.abstract
+        if section is Section.BODY:
+            return self.body
+        if section is Section.INDEX_TERMS:
+            return " ".join(self.index_terms)
+        raise ValueError(f"section {section.value!r} is not textual")
+
+    def all_text(self) -> str:
+        """Concatenation of all textual sections (used for whole-paper vectors)."""
+        return " ".join(
+            part
+            for part in (self.title, self.abstract, self.body, " ".join(self.index_terms))
+            if part
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form for JSONL serialisation."""
+        return {
+            "paper_id": self.paper_id,
+            "title": self.title,
+            "abstract": self.abstract,
+            "body": self.body,
+            "index_terms": list(self.index_terms),
+            "authors": list(self.authors),
+            "references": list(self.references),
+            "year": self.year,
+            "true_context_ids": list(self.true_context_ids),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Paper":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            paper_id=str(data["paper_id"]),
+            title=str(data.get("title", "")),
+            abstract=str(data.get("abstract", "")),
+            body=str(data.get("body", "")),
+            index_terms=tuple(data.get("index_terms", ())),  # type: ignore[arg-type]
+            authors=tuple(data.get("authors", ())),  # type: ignore[arg-type]
+            references=tuple(data.get("references", ())),  # type: ignore[arg-type]
+            year=int(data.get("year", 2000)),  # type: ignore[arg-type]
+            true_context_ids=tuple(data.get("true_context_ids", ())),  # type: ignore[arg-type]
+        )

@@ -1,0 +1,49 @@
+"""Synthetic data generation: the stand-in for the paper's PubMed testbed.
+
+The original evaluation ran on 72,027 parsed full-text PubMed genomics
+papers annotated against the Gene Ontology.  That data cannot ship with a
+reproduction, so this package generates a corpus with the *statistical
+properties the experiments depend on*:
+
+- a GO-like ontology whose term names are compositional (children extend
+  parent names with modifiers -- "metabolic process" ->
+  "glucose metabolic process"), so pattern significant-terms behave as in
+  section 5.2's worked example;
+- per-term topic vocabularies where deep terms own rare, selective jargon
+  and shallow terms share broad vocabulary;
+- papers generated from their true contexts' topic mixtures, with
+  training (annotation-evidence) papers per term;
+- citations wired with topical locality + preferential attachment, so
+  intra-context citation subgraphs get sparser with depth -- the effect
+  driving the paper's citation-score findings;
+- a TIGR-style query workload: topical multi-word queries that are *not*
+  verbatim term names.
+
+Everything is deterministically seeded.
+
+- :mod:`repro.datagen.lexicon` -- pseudo-biomedical word supply.
+- :mod:`repro.datagen.ontology_gen` -- synthetic GO-like DAGs.
+- :mod:`repro.datagen.topics` -- per-term topic vocabulary model.
+- :mod:`repro.datagen.corpus_gen` -- the corpus generator.
+- :mod:`repro.datagen.queries` -- the query-workload generator.
+"""
+
+from repro.datagen.corpus_gen import CorpusGenerator, GeneratedDataset
+from repro.datagen.lexicon import Lexicon
+from repro.datagen.ontology_gen import OntologyGenerator
+from repro.datagen.presets import PRESETS, ScalePreset, get_preset
+from repro.datagen.queries import QueryWorkload, generate_queries
+from repro.datagen.topics import TopicModel
+
+__all__ = [
+    "Lexicon",
+    "OntologyGenerator",
+    "TopicModel",
+    "CorpusGenerator",
+    "GeneratedDataset",
+    "QueryWorkload",
+    "generate_queries",
+    "PRESETS",
+    "ScalePreset",
+    "get_preset",
+]

@@ -1,0 +1,391 @@
+"""The synthetic corpus generator.
+
+Produces a :class:`GeneratedDataset`: a corpus of papers with full text,
+authors, references and ground-truth context labels, plus the per-term
+training (annotation-evidence) paper sets that pattern construction needs.
+
+Design goals, mapped to the paper's experimental premises:
+
+- **Topical coherence** -- every paper is sampled from the topic mixture of
+  its true contexts, so text similarity within a context is high and
+  representative papers are meaningful.
+- **Citation locality with multi-scale structure** -- references prefer
+  papers whose primary term lies in the citing paper's term neighbourhood
+  (same term, its ancestors, its children), with preferential attachment.
+  Deep contexts therefore have few intra-context edges (their papers'
+  citations mostly leave the context), while shallow contexts aggregate
+  whole subtrees and stay denser -- the sparsity gradient behind the
+  citation-score results.
+- **Author locality** -- authors are anchored to ontology terms and write
+  papers near their anchor, making level-0/1 author overlap informative.
+- **Training papers** -- each term's most on-topic papers double as its GO
+  annotation-evidence set (the input to pattern mining).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.paper import Paper
+from repro.datagen.lexicon import Lexicon
+from repro.datagen.ontology_gen import OntologyGenerator
+from repro.datagen.topics import TopicModel
+from repro.ontology.ontology import Ontology
+
+
+@dataclass
+class GeneratedDataset:
+    """Everything the pipeline downstream of data generation consumes."""
+
+    corpus: Corpus
+    ontology: Ontology
+    topics: TopicModel
+    #: term id -> ids of its annotation-evidence (training) papers.
+    training_papers: Dict[str, List[str]]
+    #: paper id -> the single primary term it was generated from.
+    primary_term_of: Dict[str, str]
+    #: Review/survey papers: diffuse text, citation magnets (diagnostics).
+    review_paper_ids: frozenset = frozenset()
+    seed: int = 0
+
+
+@dataclass
+class CorpusGenerator:
+    """Parameters for corpus synthesis.
+
+    Attributes
+    ----------
+    n_papers:
+        Corpus size.
+    ontology:
+        Pre-built ontology; if None one is generated from
+        ``ontology_generator`` with the same seed.
+    extra_context_probability:
+        Chance a paper gets a second true context (a sibling or parent of
+        its primary term), mirroring multi-annotation in GO.
+    references_mean:
+        Mean reference-list length (Poisson-ish via triangular draw).
+    topical_citation_probability:
+        Chance one reference is drawn from the term-neighbourhood pool
+        rather than the whole corpus.
+    training_per_term:
+        Cap on annotation-evidence papers recorded per term.
+    title_words / abstract_chunks / body_chunks:
+        Text length knobs (chunks are 1..n-word topic draws).
+    """
+
+    n_papers: int = 2000
+    ontology: Optional[Ontology] = None
+    ontology_generator: OntologyGenerator = field(default_factory=OntologyGenerator)
+    authors_pool_divisor: int = 3
+    authors_per_paper: Tuple[int, int] = (2, 5)
+    extra_context_probability: float = 0.30
+    references_mean: int = 12
+    topical_citation_probability: float = 0.8
+    training_per_term: int = 6
+    title_words: Tuple[int, int] = (6, 12)
+    abstract_chunks: Tuple[int, int] = (35, 60)
+    body_chunks: Tuple[int, int] = (140, 260)
+    #: Per-paper filler share is drawn uniformly from this range: papers
+    #: differ in topical *intensity* (a dense methods paper vs. a chatty
+    #: one), which spreads within-context text similarities -- without it
+    #: every member of a tight context scores the same against the
+    #: representative and text separability collapses at depth.
+    filler_range: Tuple[float, float] = (0.15, 0.60)
+    year_range: Tuple[int, int] = (1985, 2006)
+    #: Fraction of papers generated as *reviews*: anchored at a broad
+    #: (level <= review_max_level) term, their text mixes several
+    #: descendant topics, and they attract citations from the whole
+    #: subtree.  Reviews decouple citation fame from context typicality --
+    #: the paper's premise that "citations may carry weak indications of
+    #: topical similarity" and that contexts "cite or are cited by large
+    #: numbers of papers outside the contexts".
+    review_fraction: float = 0.06
+    review_max_level: int = 3
+    #: Multiplier on a review's attractiveness during citation sampling.
+    review_citation_boost: float = 6.0
+    #: How many descendant topics a review's text mixes over.
+    review_topic_spread: Tuple[int, int] = (3, 6)
+
+    def generate(self, seed: int = 0) -> GeneratedDataset:
+        """Generate the full dataset deterministically from ``seed``."""
+        if self.n_papers < 1:
+            raise ValueError(f"n_papers must be >= 1, got {self.n_papers}")
+        rng = random.Random(seed)
+        lexicon = Lexicon(rng)
+        ontology = (
+            self.ontology
+            if self.ontology is not None
+            else self.ontology_generator.generate(seed=seed)
+        )
+        topics = TopicModel(ontology, lexicon, rng)
+        term_ids = ontology.term_ids()
+
+        authors_by_term = self._build_author_pool(rng, lexicon, term_ids)
+        neighborhoods = {tid: self._neighborhood(ontology, tid) for tid in term_ids}
+        broad_terms = [
+            tid for tid in term_ids if ontology.level(tid) <= self.review_max_level
+        ]
+
+        papers: List[Paper] = []
+        papers_by_primary: Dict[str, List[int]] = {tid: [] for tid in term_ids}
+        in_degree: List[int] = []
+        citation_pull: List[float] = []
+        review_flags: List[bool] = []
+        primary_term_of: Dict[str, str] = {}
+
+        year_lo, year_hi = self.year_range
+        for index in range(self.n_papers):
+            is_review = bool(broad_terms) and rng.random() < self.review_fraction
+            if is_review:
+                primary = rng.choice(broad_terms)
+                true_contexts = [primary]
+                text_contexts = self._review_mixture(rng, ontology, primary)
+            else:
+                primary = rng.choice(term_ids)
+                true_contexts = [primary]
+                if rng.random() < self.extra_context_probability:
+                    extra = self._related_term(rng, ontology, primary)
+                    if extra is not None and extra not in true_contexts:
+                        true_contexts.append(extra)
+                text_contexts = true_contexts
+            paper_id = f"P{index:06d}"
+            year = year_lo + int((year_hi - year_lo) * index / max(self.n_papers - 1, 1))
+            authors = self._sample_authors(rng, authors_by_term, ontology, primary)
+            references = self._sample_references(
+                rng, index, primary, neighborhoods[primary], papers_by_primary,
+                in_degree, citation_pull,
+            )
+            filler = rng.uniform(*self.filler_range)
+            paper = Paper(
+                paper_id=paper_id,
+                title=self._make_title(rng, topics, lexicon, text_contexts),
+                abstract=self._make_prose(
+                    rng, topics, lexicon, text_contexts, self.abstract_chunks, filler
+                ),
+                body=self._make_prose(
+                    rng, topics, lexicon, text_contexts, self.body_chunks, filler
+                ),
+                index_terms=self._make_index_terms(rng, ontology, topics, text_contexts),
+                authors=tuple(authors),
+                references=tuple(f"P{r:06d}" for r in references),
+                year=year,
+                true_context_ids=tuple(true_contexts),
+            )
+            papers.append(paper)
+            papers_by_primary[primary].append(index)
+            in_degree.append(0)
+            citation_pull.append(self.review_citation_boost if is_review else 1.0)
+            review_flags.append(is_review)
+            for r in references:
+                in_degree[r] += 1
+            primary_term_of[paper_id] = primary
+
+        # Annotation evidence is *specific*: reviews never serve as
+        # training papers (a survey does not evidence one narrow term).
+        training = {
+            tid: [
+                f"P{i:06d}"
+                for i in indices
+                if not review_flags[i]
+            ][: self.training_per_term]
+            for tid, indices in papers_by_primary.items()
+        }
+        return GeneratedDataset(
+            corpus=Corpus(papers),
+            ontology=ontology,
+            topics=topics,
+            training_papers=training,
+            primary_term_of=primary_term_of,
+            review_paper_ids=frozenset(
+                f"P{i:06d}" for i, flag in enumerate(review_flags) if flag
+            ),
+            seed=seed,
+        )
+
+    def _review_mixture(
+        self, rng: random.Random, ontology: Ontology, broad_term: str
+    ) -> List[str]:
+        """The topics a review's text mixes over: the broad term + spread."""
+        descendants = sorted(ontology.descendants(broad_term))
+        lo, hi = self.review_topic_spread
+        k = min(rng.randint(lo, hi), len(descendants))
+        mixture = [broad_term]
+        if k:
+            mixture.extend(rng.sample(descendants, k))
+        return mixture
+
+    # -- structure helpers --------------------------------------------------------
+
+    def _build_author_pool(
+        self, rng: random.Random, lexicon: Lexicon, term_ids: Sequence[str]
+    ) -> Dict[str, List[str]]:
+        """Anchor each minted author to one term; returns term -> authors."""
+        n_authors = max(self.n_papers // self.authors_pool_divisor, 4)
+        by_term: Dict[str, List[str]] = {tid: [] for tid in term_ids}
+        for _ in range(n_authors):
+            anchor = rng.choice(list(term_ids))
+            by_term[anchor].append(lexicon.author_name())
+        return by_term
+
+    @staticmethod
+    def _neighborhood(ontology: Ontology, term_id: str) -> List[str]:
+        """Terms whose papers are 'topically near' ``term_id`` for citations."""
+        near = {term_id}
+        near.update(ontology.ancestors(term_id))
+        near.update(ontology.children(term_id))
+        return sorted(near)
+
+    @staticmethod
+    def _related_term(
+        rng: random.Random, ontology: Ontology, term_id: str
+    ) -> Optional[str]:
+        """A parent or sibling of ``term_id`` (None for an isolated root)."""
+        options: List[str] = list(ontology.parents(term_id))
+        for parent in ontology.parents(term_id):
+            options.extend(
+                child for child in ontology.children(parent) if child != term_id
+            )
+        if not options:
+            return None
+        return rng.choice(options)
+
+    def _sample_authors(
+        self,
+        rng: random.Random,
+        authors_by_term: Dict[str, List[str]],
+        ontology: Ontology,
+        primary: str,
+    ) -> List[str]:
+        lo, hi = self.authors_per_paper
+        count = rng.randint(lo, hi)
+        pool: List[str] = list(authors_by_term.get(primary, ()))
+        for parent in ontology.parents(primary):
+            pool.extend(authors_by_term.get(parent, ()))
+        for child in ontology.children(primary):
+            pool.extend(authors_by_term.get(child, ()))
+        if not pool:
+            # Isolated corner of the ontology: draw from anywhere.
+            pool = [a for authors in authors_by_term.values() for a in authors]
+        chosen: List[str] = []
+        for _ in range(count):
+            chosen.append(rng.choice(pool))
+        return list(dict.fromkeys(chosen))  # dedupe, keep order
+
+    def _sample_references(
+        self,
+        rng: random.Random,
+        index: int,
+        primary: str,
+        neighborhood: Sequence[str],
+        papers_by_primary: Dict[str, List[int]],
+        in_degree: List[int],
+        citation_pull: List[float],
+    ) -> List[int]:
+        """Reference indices among papers generated before ``index``."""
+        if index == 0:
+            return []
+        target_count = max(
+            1, int(rng.triangular(1, self.references_mean * 2, self.references_mean))
+        )
+        topical_pool: List[int] = []
+        for tid in neighborhood:
+            topical_pool.extend(papers_by_primary[tid])
+        chosen: set = set()
+        for _ in range(target_count):
+            if topical_pool and rng.random() < self.topical_citation_probability:
+                candidate = self._preferential_choice(
+                    rng, topical_pool, in_degree, citation_pull
+                )
+            else:
+                candidate = rng.randrange(index)
+            if candidate is not None and candidate != index:
+                chosen.add(candidate)
+        return sorted(chosen)
+
+    @staticmethod
+    def _preferential_choice(
+        rng: random.Random,
+        pool: Sequence[int],
+        in_degree: List[int],
+        citation_pull: List[float],
+    ) -> Optional[int]:
+        """Weighted draw by (in-degree + 1) * pull: rich papers get richer,
+        reviews pull harder regardless of topical fit."""
+        if not pool:
+            return None
+        # Sample a small candidate set then pick the most attractive:
+        # cheaper than building full cumulative weights per draw, same
+        # bias shape.
+        sample_size = min(4, len(pool))
+        candidates = [pool[rng.randrange(len(pool))] for _ in range(sample_size)]
+        return max(
+            candidates,
+            key=lambda i: ((in_degree[i] + 1) * citation_pull[i], -i),
+        )
+
+    # -- text helpers ---------------------------------------------------------------
+
+    def _make_title(
+        self,
+        rng: random.Random,
+        topics: TopicModel,
+        lexicon: Lexicon,
+        true_contexts: Sequence[str],
+    ) -> str:
+        lo, hi = self.title_words
+        words: List[str] = []
+        primary_topic = topics.topic(true_contexts[0])
+        while len(words) < rng.randint(lo, hi):
+            words.extend(primary_topic.sample_chunk(rng))
+        return " ".join(words)
+
+    def _make_prose(
+        self,
+        rng: random.Random,
+        topics: TopicModel,
+        lexicon: Lexicon,
+        true_contexts: Sequence[str],
+        chunk_range: Tuple[int, int],
+        filler_probability: float,
+    ) -> str:
+        lo, hi = chunk_range
+        n_chunks = rng.randint(lo, hi)
+        words: List[str] = []
+        sentence_len = rng.randint(8, 16)
+        sentence_progress = 0
+        for _ in range(n_chunks):
+            if rng.random() < filler_probability:
+                chunk: Tuple[str, ...] = (lexicon.filler_word(),)
+            else:
+                context = true_contexts[0]
+                if len(true_contexts) > 1 and rng.random() < 0.5:
+                    context = rng.choice(true_contexts[1:])
+                chunk = topics.topic(context).sample_chunk(rng)
+            words.extend(chunk)
+            sentence_progress += len(chunk)
+            if sentence_progress >= sentence_len:
+                words[-1] = words[-1] + "."
+                sentence_progress = 0
+                sentence_len = rng.randint(8, 16)
+        return " ".join(words)
+
+    def _make_index_terms(
+        self,
+        rng: random.Random,
+        ontology: Ontology,
+        topics: TopicModel,
+        true_contexts: Sequence[str],
+    ) -> Tuple[str, ...]:
+        entries: List[str] = []
+        for context in true_contexts:
+            entries.append(ontology.term(context).name)
+            jargon = topics.jargon_of(context)
+            if jargon:
+                entries.append(rng.choice(jargon))
+        extra = topics.topic(true_contexts[0]).sample_chunk(rng)
+        entries.append(" ".join(extra))
+        return tuple(dict.fromkeys(entries))

@@ -1,0 +1,118 @@
+"""Word supply for synthetic text.
+
+Two sources:
+
+- a curated pool of real biomedical/genomics vocabulary (gives the corpus
+  a recognisable register and exercises the stemmer on natural morphology);
+- a syllable-based pseudo-word generator (supplies an unbounded stream of
+  *distinct* jargon words so every ontology term can own vocabulary no
+  other term uses -- the selectivity structure pattern scoring relies on).
+
+All draws go through a :class:`random.Random` owned by the caller, so the
+whole data-generation stack is reproducible from one seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Set
+
+#: Head nouns for ontology term names ("... process", "... activity").
+TERM_HEADS: Sequence[str] = (
+    "process",
+    "activity",
+    "binding",
+    "transport",
+    "regulation",
+    "signaling",
+    "biogenesis",
+    "assembly",
+    "localization",
+    "response",
+)
+
+#: Modifier vocabulary for ontology term names.
+TERM_MODIFIERS: Sequence[str] = (
+    "cellular", "metabolic", "nuclear", "mitochondrial", "ribosomal",
+    "cytoplasmic", "membrane", "protein", "dna", "rna", "lipid", "glucose",
+    "amino", "acid", "ion", "calcium", "potassium", "oxidative", "catabolic",
+    "anabolic", "transcription", "translation", "replication", "repair",
+    "kinase", "phosphatase", "polymerase", "transferase", "hydrolase",
+    "receptor", "channel", "vesicle", "chromatin", "histone", "telomere",
+    "spindle", "microtubule", "actin", "apoptotic", "immune", "hormonal",
+    "developmental", "embryonic", "neural", "synaptic", "vascular",
+    "positive", "negative", "primary", "secondary", "early", "late",
+)
+
+#: General scientific filler words (beyond stopwords) for sentence glue.
+FILLER_WORDS: Sequence[str] = (
+    "analysis", "approach", "assay", "cells", "conditions", "data",
+    "effect", "evidence", "experiments", "expression", "factors",
+    "function", "interaction", "levels", "mechanism", "method", "model",
+    "mutants", "observed", "pathway", "phenotype", "results", "role",
+    "samples", "sequence", "significant", "structure", "studies", "study",
+    "suggest", "system", "treatment", "type", "variation", "experiments",
+    "measured", "increased", "decreased", "induced", "inhibited",
+    "demonstrated", "identified", "characterized", "examined", "compared",
+    "revealed", "indicates", "associated", "required", "essential",
+    "specific", "distinct", "novel", "putative", "conserved", "homologous",
+)
+
+_ONSETS: Sequence[str] = (
+    "b", "c", "d", "f", "g", "h", "k", "l", "m", "n", "p", "r", "s", "t",
+    "v", "z", "br", "cr", "dr", "gl", "gr", "kl", "pr", "st", "str", "tr",
+    "th", "ph", "ch",
+)
+_NUCLEI: Sequence[str] = ("a", "e", "i", "o", "u", "ae", "ia", "io", "ou")
+_CODAS: Sequence[str] = ("", "n", "m", "r", "s", "x", "l", "st", "nd", "rt")
+_JARGON_SUFFIXES: Sequence[str] = (
+    "in", "ase", "ose", "ol", "ide", "ine", "ome", "yl", "an", "on",
+)
+
+
+class Lexicon:
+    """A deterministic supply of distinct pseudo-biomedical words."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._issued: Set[str] = set(TERM_HEADS) | set(TERM_MODIFIERS) | set(
+            FILLER_WORDS
+        )
+
+    def new_jargon_word(self) -> str:
+        """Mint a pseudo-word never issued before by this lexicon.
+
+        Words look like plausible biochemistry ("glaxorin", "prethiose"),
+        tokenise to a single token, and never collide with the curated
+        pools or earlier mints.
+        """
+        for _ in range(1000):
+            n_syllables = self._rng.choice((2, 2, 3))
+            parts = []
+            for _ in range(n_syllables):
+                parts.append(self._rng.choice(_ONSETS))
+                parts.append(self._rng.choice(_NUCLEI))
+                parts.append(self._rng.choice(_CODAS))
+            word = "".join(parts) + self._rng.choice(_JARGON_SUFFIXES)
+            if word not in self._issued and len(word) >= 5:
+                self._issued.add(word)
+                return word
+        raise RuntimeError("lexicon exhausted: could not mint a fresh word")
+
+    def new_jargon_words(self, count: int) -> List[str]:
+        """Mint ``count`` distinct fresh words."""
+        return [self.new_jargon_word() for _ in range(count)]
+
+    def filler_word(self) -> str:
+        """Draw one general scientific filler word."""
+        return self._rng.choice(FILLER_WORDS)
+
+    def author_name(self) -> str:
+        """Mint an author name ("J. Kravone" style); collisions allowed.
+
+        Author-name collisions exist in real bibliographies too; the
+        generator draws from a pool wide enough that they stay rare.
+        """
+        initial = chr(ord("A") + self._rng.randrange(26))
+        surname_root = self.new_jargon_word().capitalize()
+        return f"{initial}. {surname_root}"

@@ -1,0 +1,112 @@
+"""Named scale presets for the synthetic testbed.
+
+One place to encode "how big is a reasonable experiment", shared by the
+CLI, the benchmarks, and documentation examples.  The paper's own scale
+(72k papers / 20k+ GO terms) is included for reference but takes tens of
+minutes of pre-processing in pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.datagen.corpus_gen import CorpusGenerator, GeneratedDataset
+from repro.datagen.ontology_gen import OntologyGenerator
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """One named corpus/ontology scale."""
+
+    name: str
+    n_papers: int
+    n_terms: int
+    max_depth: int
+    min_children: int
+    max_children: int
+    #: Experiment-view context-size floor (the paper's small-context
+    #: exclusion, scaled to the corpus).
+    min_context_size: int
+    description: str
+
+    def generator(self) -> CorpusGenerator:
+        return CorpusGenerator(
+            n_papers=self.n_papers,
+            ontology_generator=OntologyGenerator(
+                n_terms=self.n_terms,
+                max_depth=self.max_depth,
+                min_children=self.min_children,
+                max_children=self.max_children,
+            ),
+        )
+
+    def generate(self, seed: int = 0) -> GeneratedDataset:
+        return self.generator().generate(seed=seed)
+
+
+PRESETS: Dict[str, ScalePreset] = {
+    preset.name: preset
+    for preset in (
+        ScalePreset(
+            name="tiny",
+            n_papers=200,
+            n_terms=40,
+            max_depth=5,
+            min_children=2,
+            max_children=4,
+            min_context_size=3,
+            description="seconds; smoke tests and docs examples",
+        ),
+        ScalePreset(
+            name="small",
+            n_papers=800,
+            n_terms=150,
+            max_depth=6,
+            min_children=2,
+            max_children=3,
+            min_context_size=5,
+            description="~30s pre-processing; interactive experimentation",
+        ),
+        ScalePreset(
+            name="default",
+            n_papers=1600,
+            n_terms=400,
+            max_depth=7,
+            min_children=2,
+            max_children=3,
+            min_context_size=10,
+            description="the benchmark configuration; reaches level-7 contexts",
+        ),
+        ScalePreset(
+            name="large",
+            n_papers=8000,
+            n_terms=1200,
+            max_depth=8,
+            min_children=2,
+            max_children=3,
+            min_context_size=30,
+            description="minutes of pre-processing; stability studies",
+        ),
+        ScalePreset(
+            name="paper",
+            n_papers=72000,
+            n_terms=20000,
+            max_depth=12,
+            min_children=2,
+            max_children=4,
+            min_context_size=100,
+            description="the ICDE testbed's nominal scale; expect long runs",
+        ),
+    )
+}
+
+
+def get_preset(name: str) -> ScalePreset:
+    """Look up a preset by name (ValueError lists the options)."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r}; choose from {sorted(PRESETS)}"
+        ) from None

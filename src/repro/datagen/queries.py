@@ -1,0 +1,97 @@
+"""Query-workload generation.
+
+The paper's accuracy experiments use ~120 search terms "selected from
+non-GO concepts of external life sciences classification systems (e.g.,
+TIGR roles), which have been manually mapped to GO terms".  The essential
+properties: queries are *topical* (they share vocabulary with some
+ontology subtree) but are **not verbatim term names** (they come from a
+different classification system).
+
+The generator reproduces that: each query samples a target term, then
+mixes words from the term's topic (jargon + partial name words) without
+ever emitting the full term name phrase.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.datagen.corpus_gen import GeneratedDataset
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """One generated query and its provenance."""
+
+    query: str
+    #: The ontology term whose topic the query was drawn from.  This is
+    #: generator provenance for diagnostics -- evaluation never uses it to
+    #: compute scores (AC-answer sets are built from retrieval alone).
+    source_term_id: str
+
+
+def generate_queries(
+    dataset: GeneratedDataset,
+    n_queries: int = 120,
+    seed: int = 0,
+    min_words: int = 2,
+    max_words: int = 4,
+    min_level: int = 2,
+) -> List[QueryWorkload]:
+    """Generate ``n_queries`` topical multi-word queries.
+
+    Terms are sampled uniformly from levels >= ``min_level`` (root-level
+    topics are too diffuse to be search terms, matching TIGR roles which
+    map to mid-hierarchy GO terms).
+    """
+    if n_queries < 1:
+        raise ValueError(f"n_queries must be >= 1, got {n_queries}")
+    if min_words < 1 or max_words < min_words:
+        raise ValueError(
+            f"need 1 <= min_words <= max_words, got {min_words}..{max_words}"
+        )
+    rng = random.Random(seed)
+    ontology = dataset.ontology
+    eligible = [
+        tid for tid in ontology.term_ids() if ontology.level(tid) >= min_level
+    ]
+    if not eligible:
+        eligible = ontology.term_ids()
+    workload: List[QueryWorkload] = []
+    for _ in range(n_queries):
+        term_id = rng.choice(eligible)
+        words = _query_words(rng, dataset, term_id, min_words, max_words)
+        workload.append(QueryWorkload(query=" ".join(words), source_term_id=term_id))
+    return workload
+
+
+def _query_words(
+    rng: random.Random,
+    dataset: GeneratedDataset,
+    term_id: str,
+    min_words: int,
+    max_words: int,
+) -> List[str]:
+    """Mix jargon and partial name words; never the full name phrase."""
+    term = dataset.ontology.term(term_id)
+    name_words = [w for w in term.name_words() if len(w) > 2]
+    jargon = dataset.topics.jargon_of(term_id)
+    n_words = rng.randint(min_words, max_words)
+    pool: List[str] = []
+    # At least one selective jargon word keeps the query anchored to the
+    # topic even when name words are generic ("cellular", "process").
+    if jargon:
+        pool.append(rng.choice(jargon))
+    candidates = name_words + jargon
+    rng.shuffle(candidates)
+    for word in candidates:
+        if len(pool) >= n_words:
+            break
+        if word not in pool:
+            pool.append(word)
+    # Guard: never the exact full name phrase in order.
+    if " ".join(pool) == term.name.lower():
+        pool = pool[:-1] if len(pool) > 1 else pool + [rng.choice(jargon or ["assay"])]
+    return pool[:max_words]

@@ -1,0 +1,154 @@
+"""Per-term topic vocabulary model.
+
+Each ontology term owns a *topic*: a weighted vocabulary used to sample
+paper text.  The construction encodes the selectivity structure the
+paper's experiments probe:
+
+- every term owns a handful of fresh **jargon words** no other term mints
+  (deep terms therefore own corpus-rare, highly selective vocabulary);
+- a term inherits its ancestors' vocabulary at geometrically decaying
+  weight, so papers of sibling contexts share words with the parent but
+  differ in their own jargon, and shallow contexts have broad diffuse
+  vocabularies;
+- the term's own *name words* get high weight, and the full name phrase is
+  emitted as a unit with some probability -- pattern mining needs training
+  papers that actually contain context-term word sequences.
+
+Sampling returns word *chunks* (1..n word tuples) so multiword phrases
+survive into generated text verbatim.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.datagen.lexicon import Lexicon
+from repro.ontology.ontology import Ontology
+
+Chunk = Tuple[str, ...]
+
+
+class TermTopic:
+    """Sampling distribution of one term's vocabulary."""
+
+    def __init__(
+        self,
+        term_id: str,
+        chunks: Sequence[Chunk],
+        weights: Sequence[float],
+        jargon: Sequence[str],
+    ) -> None:
+        if len(chunks) != len(weights):
+            raise ValueError("chunks and weights must have equal length")
+        self.term_id = term_id
+        self.chunks = list(chunks)
+        self.jargon = list(jargon)
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError(f"topic for {term_id} has no probability mass")
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._cumulative.append(acc)
+
+    def sample_chunk(self, rng: random.Random) -> Chunk:
+        """Draw one chunk (word tuple) from the topic distribution."""
+        point = rng.random()
+        low, high = 0, len(self._cumulative) - 1
+        while low < high:
+            mid = (low + high) // 2
+            if self._cumulative[mid] < point:
+                low = mid + 1
+            else:
+                high = mid
+        return self.chunks[low]
+
+
+class TopicModel:
+    """Builds and holds the :class:`TermTopic` of every ontology term.
+
+    Parameters
+    ----------
+    jargon_per_term:
+        Fresh jargon words minted per term.
+    inheritance_decay:
+        Weight multiplier per ancestor hop (0.5 = parent vocabulary at half
+        the weight of own vocabulary).
+    name_phrase_weight:
+        Relative weight of emitting the full term-name phrase as a unit.
+    """
+
+    def __init__(
+        self,
+        ontology: Ontology,
+        lexicon: Lexicon,
+        rng: random.Random,
+        jargon_per_term: int = 4,
+        inheritance_decay: float = 0.45,
+        name_phrase_weight: float = 2.5,
+    ) -> None:
+        self.ontology = ontology
+        self._topics: Dict[str, TermTopic] = {}
+        self._jargon: Dict[str, List[str]] = {}
+        # Mint jargon in deterministic BFS order.
+        for term_id in ontology.walk_breadth_first():
+            self._jargon[term_id] = lexicon.new_jargon_words(jargon_per_term)
+        for term_id in ontology.term_ids():
+            self._topics[term_id] = self._build_topic(
+                term_id, rng, inheritance_decay, name_phrase_weight
+            )
+
+    def topic(self, term_id: str) -> TermTopic:
+        """The topic of ``term_id`` (KeyError for unknown terms)."""
+        return self._topics[term_id]
+
+    def jargon_of(self, term_id: str) -> List[str]:
+        """The jargon words owned exclusively by ``term_id``."""
+        return list(self._jargon[term_id])
+
+    def _build_topic(
+        self,
+        term_id: str,
+        rng: random.Random,
+        decay: float,
+        name_phrase_weight: float,
+    ) -> TermTopic:
+        chunks: List[Chunk] = []
+        weights: List[float] = []
+
+        def push(chunk: Chunk, weight: float) -> None:
+            chunks.append(chunk)
+            weights.append(weight)
+
+        term = self.ontology.term(term_id)
+        name_words = term.name_words()
+        # The full term-name phrase as one chunk: pattern fodder.
+        if name_words:
+            push(name_words, name_phrase_weight)
+            for word in name_words:
+                push((word,), 1.2)
+        # Own jargon: high weight singles plus one signature bigram.
+        own_jargon = self._jargon[term_id]
+        for word in own_jargon:
+            push((word,), 2.0)
+        if len(own_jargon) >= 2:
+            push((own_jargon[0], own_jargon[1]), 1.0)
+        # Ancestor vocabulary at decaying weight by level distance.  The
+        # ancestor set is iterated in sorted order: chunk order determines
+        # which chunk each RNG draw lands on, so set-hash order here would
+        # make the whole corpus vary with PYTHONHASHSEED.
+        own_level = self.ontology.level(term_id)
+        for ancestor_id in sorted(self.ontology.ancestors(term_id)):
+            distance = max(own_level - self.ontology.level(ancestor_id), 1)
+            factor = decay ** distance
+            for word in self._jargon[ancestor_id]:
+                push((word,), 1.5 * factor)
+            ancestor_words = self.ontology.term(ancestor_id).name_words()
+            for word in ancestor_words:
+                push((word,), 0.8 * factor)
+        return TermTopic(term_id, chunks, weights, own_jargon)
+
+    def __len__(self) -> int:
+        return len(self._topics)

@@ -1,0 +1,37 @@
+"""Evaluation harness: the metrics and experiment runners of sections 2/5.
+
+- :mod:`repro.eval.ac_answer` -- A(rtificially) C(onstructed) answer sets.
+- :mod:`repro.eval.metrics` -- precision, top-k% overlapping ratio,
+  separability standard deviation.
+- :mod:`repro.eval.experiments` -- the per-figure experiment runners.
+"""
+
+from repro.eval.ac_answer import ACAnswerBuilder, ACAnswerConfig, ACAnswerSet
+from repro.eval.experiments import (
+    BaselineComparison,
+    BaselineComparisonExperiment,
+    OverlapExperiment,
+    PrecisionExperiment,
+    SeparabilityExperiment,
+)
+from repro.eval.metrics import (
+    precision,
+    sd_histogram,
+    separability_sd,
+    topk_overlap,
+)
+
+__all__ = [
+    "ACAnswerBuilder",
+    "ACAnswerConfig",
+    "ACAnswerSet",
+    "precision",
+    "topk_overlap",
+    "separability_sd",
+    "sd_histogram",
+    "PrecisionExperiment",
+    "OverlapExperiment",
+    "SeparabilityExperiment",
+    "BaselineComparison",
+    "BaselineComparisonExperiment",
+]

@@ -1,0 +1,128 @@
+"""Plain-text chart rendering for benchmark outputs.
+
+The benchmark harness regenerates the paper's *figures*; these helpers
+render them as terminal-friendly charts so ``benchmarks/results/*.txt``
+reads like figures rather than bare tables.  No plotting dependency --
+just aligned Unicode bars and dot grids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+_BAR = "█"
+_HALF = "▌"
+_MARKERS = "ox+*#@"
+
+
+def ascii_bar_chart(
+    values: Mapping[str, float],
+    width: int = 40,
+    max_value: Optional[float] = None,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Horizontal bar chart, one row per (label, value).
+
+    >>> print(ascii_bar_chart({"a": 1.0, "b": 0.5}, width=4))
+    a  ████  1.000
+    b  ██    0.500
+    """
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    if not values:
+        return "(no data)"
+    top = max_value if max_value is not None else max(values.values())
+    if top <= 0:
+        top = 1.0
+    label_width = max(len(str(label)) for label in values)
+    lines = []
+    for label, value in values.items():
+        filled = value / top * width
+        bar = _BAR * int(filled)
+        if filled - int(filled) >= 0.5:
+            bar += _HALF
+        bar = bar.ljust(width)
+        lines.append(
+            f"{str(label):<{label_width}}  {bar}  {value_format.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def ascii_line_chart(
+    series: Mapping[str, Sequence[Optional[float]]],
+    x_labels: Sequence[str],
+    height: int = 10,
+    y_max: Optional[float] = None,
+    y_min: float = 0.0,
+) -> str:
+    """Multi-series dot chart over a shared x axis.
+
+    Each series gets a marker (legend below the chart); None values leave
+    gaps.  Columns align under their x labels.
+    """
+    if height < 2:
+        raise ValueError(f"height must be >= 2, got {height}")
+    names = list(series)
+    if not names or not x_labels:
+        return "(no data)"
+    for name in names:
+        if len(series[name]) != len(x_labels):
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} points for "
+                f"{len(x_labels)} x labels"
+            )
+    present = [
+        v for name in names for v in series[name] if v is not None
+    ]
+    if not present:
+        return "(no data)"
+    top = y_max if y_max is not None else max(present)
+    if top <= y_min:
+        top = y_min + 1.0
+    column_width = max(max(len(label) for label in x_labels) + 1, 6)
+
+    grid: List[List[str]] = [
+        [" "] * (len(x_labels) * column_width) for _ in range(height)
+    ]
+    for series_index, name in enumerate(names):
+        marker = _MARKERS[series_index % len(_MARKERS)]
+        for x, value in enumerate(series[name]):
+            if value is None:
+                continue
+            fraction = (value - y_min) / (top - y_min)
+            fraction = min(max(fraction, 0.0), 1.0)
+            row = height - 1 - int(round(fraction * (height - 1)))
+            column = x * column_width + column_width // 2
+            # Co-located points show the later series' marker plus '&'.
+            grid[row][column] = (
+                "&" if grid[row][column] != " " else marker
+            )
+    axis_width = 7
+    lines = []
+    for row_index, row in enumerate(grid):
+        fraction = 1.0 - row_index / (height - 1)
+        y_value = y_min + fraction * (top - y_min)
+        prefix = f"{y_value:>{axis_width - 1}.2f}|"
+        lines.append(prefix + "".join(row).rstrip())
+    x_axis = " " * axis_width + "".join(
+        label.center(column_width) for label in x_labels
+    )
+    lines.append(" " * (axis_width - 1) + "+" + "-" * (len(x_labels) * column_width))
+    lines.append(x_axis.rstrip())
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(f"{'':>{axis_width}}{legend}  (&=overlap)")
+    return "\n".join(lines)
+
+
+def ascii_histogram(
+    bins: Sequence[Tuple[float, float]],
+    width: int = 40,
+    bin_format: str = "{:>4.0f}",
+) -> str:
+    """Render a (bin_edge, percent) series -- the shape of figs 5.4-5.7."""
+    values: Dict[str, float] = {
+        bin_format.format(edge): percent for edge, percent in bins
+    }
+    return ascii_bar_chart(values, width=width, value_format="{:5.1f}%")

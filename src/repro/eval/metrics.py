@@ -1,0 +1,160 @@
+"""Evaluation metrics of section 2: precision, top-k% overlap, separability.
+
+All three follow the published definitions:
+
+- ``Precision_t = |S_t ∩ R_t| / |S_t|`` with S_t the results whose
+  relevancy clears threshold t, R_t the (AC-)answer set.
+- ``TopKOverlappingRatio(S1, S2) = |P_S1-TopK ∩ P_S2-TopK| / K`` with tie
+  handling: papers tied with the k-th score are included, and the
+  denominator becomes ``min(|P_S1-TopK|, |P_S2-TopK|)`` when either set
+  exceeds k.
+- Separability SD: scores are split into n equal ranges; with X_i the
+  *percentage* of papers in range i and X̄ = 100/n,
+  ``SD = sqrt(1/n * Σ (X_i - X̄)²)``.  0 = perfectly uniform (best).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+
+def precision(
+    result_ids: Iterable[str], answer_set: Iterable[str]
+) -> Optional[float]:
+    """|S ∩ R| / |S|; None when S is empty (no results above threshold).
+
+    Callers decide how to aggregate empty results: the paper's *average*
+    curves count them as 0 ("precisions of these queries are 0, which
+    reduces the average"), while its *median* curves are robust to them.
+    """
+    results = set(result_ids)
+    if not results:
+        return None
+    answers = set(answer_set)
+    return len(results & answers) / len(results)
+
+
+def top_fraction_ids(scores: Mapping[str, float], k: int) -> Set[str]:
+    """The ids of the ``k`` best scores, expanded to include k-th-score ties."""
+    if k <= 0 or not scores:
+        return set()
+    ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+    if k >= len(ranked):
+        return {pid for pid, _ in ranked}
+    kth_score = ranked[k - 1][1]
+    result = {pid for pid, value in ranked[:k]}
+    for pid, value in ranked[k:]:
+        if value == kth_score:
+            result.add(pid)
+        else:
+            break
+    return result
+
+
+def topk_overlap(
+    scores_a: Mapping[str, float],
+    scores_b: Mapping[str, float],
+    k: Optional[int] = None,
+    k_percent: Optional[float] = None,
+) -> Optional[float]:
+    """TopKOverlappingRatio of section 2 (None if either side is empty).
+
+    Exactly one of ``k`` (absolute) or ``k_percent`` (fraction of the
+    context's shared papers -- the "top k%" the experiments use so small
+    deep contexts are not unfairly biased) must be given.
+    """
+    if (k is None) == (k_percent is None):
+        raise ValueError("pass exactly one of k or k_percent")
+    if not scores_a or not scores_b:
+        return None
+    if k_percent is not None:
+        if not 0.0 < k_percent <= 1.0:
+            raise ValueError(f"k_percent must be in (0, 1], got {k_percent}")
+        base = min(len(scores_a), len(scores_b))
+        k = max(int(round(base * k_percent)), 1)
+    assert k is not None
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    top_a = top_fraction_ids(scores_a, k)
+    top_b = top_fraction_ids(scores_b, k)
+    if len(top_a) != k or len(top_b) != k:
+        # Tie-expansion grew a set past k (the paper's rule: denominator
+        # becomes min of the set sizes) -- or a context holds fewer than k
+        # papers, where the same min rule keeps the ratio in [0, 1] and
+        # self-overlap at 1.
+        denominator = min(len(top_a), len(top_b))
+    else:
+        denominator = k
+    if denominator == 0:
+        return None
+    return len(top_a & top_b) / denominator
+
+
+def separability_sd(
+    scores: Iterable[float], n_ranges: int = 10
+) -> Optional[float]:
+    """Deviation of the score histogram from uniform (lower = better).
+
+    Scores are expected in [0, 1] (prestige scores are normalised); values
+    outside are clamped into the boundary ranges.  None for empty input.
+    """
+    if n_ranges < 1:
+        raise ValueError(f"n_ranges must be >= 1, got {n_ranges}")
+    values = list(scores)
+    if not values:
+        return None
+    counts = [0] * n_ranges
+    for value in values:
+        index = int(value * n_ranges)
+        index = min(max(index, 0), n_ranges - 1)
+        counts[index] += 1
+    total = len(values)
+    mean_percent = 100.0 / n_ranges
+    variance = sum(
+        (100.0 * count / total - mean_percent) ** 2 for count in counts
+    ) / n_ranges
+    return math.sqrt(variance)
+
+
+def sd_histogram(
+    sd_values: Iterable[float],
+    bin_edges: Sequence[float] = (0, 5, 10, 15, 20, 25, 30, 35, 40),
+) -> List[Tuple[float, float]]:
+    """Percentage of contexts per SD bin (the x/y series of figs 5.4-5.7).
+
+    Returns ``[(bin_lower_edge, percent_of_contexts), ...]``.  Values at
+    or above the last edge land in the final bin.
+    """
+    edges = list(bin_edges)
+    if len(edges) < 2 or edges != sorted(edges):
+        raise ValueError("bin_edges must be ascending with >= 2 entries")
+    values = list(sd_values)
+    counts = [0] * (len(edges) - 1)
+    for value in values:
+        placed = False
+        for i in range(len(edges) - 1):
+            if edges[i] <= value < edges[i + 1]:
+                counts[i] += 1
+                placed = True
+                break
+        if not placed and value >= edges[-1]:
+            counts[-1] += 1
+    total = len(values)
+    if total == 0:
+        return [(edges[i], 0.0) for i in range(len(edges) - 1)]
+    return [
+        (edges[i], 100.0 * counts[i] / total) for i in range(len(edges) - 1)
+    ]
+
+
+def median(values: Sequence[float]) -> Optional[float]:
+    """Plain median (None for empty input); kept local to avoid statistics
+    module's error on empty data at every call site."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0

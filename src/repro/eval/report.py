@@ -1,0 +1,163 @@
+"""Markdown evaluation reports.
+
+Bundles the full section-5 evaluation of a pipeline -- corpus statistics,
+both context paper sets, the precision/overlap/separability experiments
+-- into one human-readable markdown document.  Used by
+``repro evaluate --report`` and handy for comparing runs across corpora
+or configuration changes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.eval.experiments import (
+    OverlapExperiment,
+    PrecisionExperiment,
+    SeparabilityExperiment,
+)
+from repro.pipeline import Pipeline
+
+
+def _paper_set_summary(pipeline: Pipeline, name: str) -> List[str]:
+    paper_set = (
+        pipeline.text_paper_set if name == "text" else pipeline.pattern_paper_set
+    )
+    sizes = sorted(context.size for context in paper_set)
+    if not sizes:
+        return [f"- **{name}-based paper set**: empty"]
+    mean = sum(sizes) / len(sizes)
+    inherited = sum(1 for c in paper_set if c.inherited_from is not None)
+    return [
+        f"- **{name}-based paper set**: {len(paper_set)} contexts, "
+        f"sizes min/mean/max = {sizes[0]}/{mean:.1f}/{sizes[-1]}, "
+        f"{inherited} inherited from ancestors",
+    ]
+
+
+def _precision_section(
+    experiment: PrecisionExperiment, arms: Sequence[tuple]
+) -> List[str]:
+    from repro.eval.ascii_plot import ascii_line_chart
+
+    lines = ["## Precision vs relevancy threshold", ""]
+    curves = {}
+    thresholds: Sequence[float] = ()
+    for function, paper_set in arms:
+        curve = experiment.run(function, paper_set)
+        curves[f"{function}/{paper_set}"] = curve.average
+        thresholds = curve.thresholds
+        lines.append(f"### {function} scores on the {paper_set}-based paper set")
+        lines.append("")
+        lines.append("| t | average | median | empty queries |")
+        lines.append("|---|---|---|---|")
+        for i, t in enumerate(curve.thresholds):
+            median = curve.median_[i]
+            median_text = f"{median:.3f}" if median is not None else "-"
+            lines.append(
+                f"| {t:.2f} | {curve.average[i]:.3f} | {median_text} "
+                f"| {curve.empty_queries[i]} |"
+            )
+        lines.append("")
+    if curves and thresholds:
+        lines.append("Average precision, all arms:")
+        lines.append("")
+        lines.append("```text")
+        lines.append(
+            ascii_line_chart(
+                curves,
+                x_labels=[f"{t:.2f}" for t in thresholds],
+                y_max=1.0,
+            )
+        )
+        lines.append("```")
+        lines.append("")
+    return lines
+
+
+def _separability_section(pipeline: Pipeline) -> List[str]:
+    lines = ["## Separability", ""]
+    lines.append("| score function / paper set | mean SD | % contexts SD < 15 |")
+    lines.append("|---|---|---|")
+    for function, paper_set in (
+        ("text", "text"),
+        ("citation", "text"),
+        ("pattern", "pattern"),
+        ("citation", "pattern"),
+    ):
+        result = SeparabilityExperiment(
+            pipeline.experiment_paper_set(paper_set)
+        ).run(pipeline.prestige(function, paper_set))
+        mean_sd = result.mean_sd()
+        mean_text = f"{mean_sd:.2f}" if mean_sd is not None else "-"
+        lines.append(
+            f"| {function} / {paper_set} | {mean_text} "
+            f"| {result.percent_below(15.0):.1f}% |"
+        )
+    lines.append("")
+    return lines
+
+
+def _overlap_section(pipeline: Pipeline, levels: Sequence[int]) -> List[str]:
+    lines = ["## Top-5% overlapping ratio by context level", ""]
+    experiment = OverlapExperiment(
+        pipeline.experiment_paper_set("pattern"),
+        levels=levels,
+        k_percents=(0.05,),
+    )
+    header = "| pair | " + " | ".join(f"level {lv}" for lv in levels) + " |"
+    lines.append(header)
+    lines.append("|" + "---|" * (len(levels) + 1))
+    for a, b in (("text", "citation"), ("text", "pattern"), ("citation", "pattern")):
+        series = experiment.run(
+            pipeline.prestige(a, "pattern"), pipeline.prestige(b, "pattern")
+        )
+        cells = []
+        for row in series.values:
+            value = row[0]
+            cells.append(f"{value:.3f}" if value is not None else "-")
+        lines.append(f"| {a}-{b} | " + " | ".join(cells) + " |")
+    lines.append("")
+    return lines
+
+
+def generate_report(
+    pipeline: Pipeline,
+    queries: Sequence[str],
+    thresholds: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5),
+    levels: Sequence[int] = (3, 5, 7),
+    title: str = "Context-based search evaluation",
+) -> str:
+    """Render the full evaluation of ``pipeline`` as a markdown document."""
+    lines: List[str] = [f"# {title}", ""]
+    lines.append("## Dataset")
+    lines.append("")
+    lines.append(f"- corpus: {len(pipeline.corpus)} papers")
+    lines.append(
+        f"- ontology: {len(pipeline.ontology)} terms, "
+        f"max level {pipeline.ontology.max_level}"
+    )
+    graph = pipeline.citation_graph
+    lines.append(
+        f"- citation graph: {graph.n_edges} edges, density {graph.density():.5f}"
+    )
+    lines.extend(_paper_set_summary(pipeline, "text"))
+    lines.extend(_paper_set_summary(pipeline, "pattern"))
+    lines.append(f"- queries evaluated: {len(queries)}")
+    lines.append("")
+
+    experiment = PrecisionExperiment(pipeline, queries, thresholds=thresholds)
+    lines.extend(
+        _precision_section(
+            experiment,
+            (
+                ("text", "text"),
+                ("citation", "text"),
+                ("pattern", "pattern"),
+                ("citation", "pattern"),
+            ),
+        )
+    )
+    lines.extend(_separability_section(pipeline))
+    lines.extend(_overlap_section(pipeline, levels))
+    return "\n".join(lines)

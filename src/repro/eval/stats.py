@@ -1,0 +1,114 @@
+"""Statistical utilities for the evaluation harness.
+
+Rank correlations (used by the HITS-vs-PageRank ablation and any
+score-function comparison) and bootstrap confidence intervals (so
+precision curves can be reported with uncertainty, which the paper's
+figures lack).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def _aligned_arrays(
+    scores_a: Mapping[str, float], scores_b: Mapping[str, float]
+) -> Tuple[np.ndarray, np.ndarray]:
+    keys = sorted(set(scores_a) & set(scores_b))
+    a = np.array([scores_a[k] for k in keys], dtype=float)
+    b = np.array([scores_b[k] for k in keys], dtype=float)
+    return a, b
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    """Average ranks (ties share the mean of their rank range)."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(len(values), dtype=float)
+    i = 0
+    while i < len(values):
+        j = i
+        while j + 1 < len(values) and values[order[j + 1]] == values[order[i]]:
+            j += 1
+        average_rank = (i + j) / 2.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = average_rank
+        i = j + 1
+    return ranks
+
+
+def spearman(
+    scores_a: Mapping[str, float], scores_b: Mapping[str, float]
+) -> Optional[float]:
+    """Spearman rank correlation over the shared keys (None if degenerate).
+
+    Uses average ranks for ties; returns None when fewer than two shared
+    keys exist or either side is constant.
+    """
+    a, b = _aligned_arrays(scores_a, scores_b)
+    if len(a) < 2:
+        return None
+    rank_a, rank_b = _ranks(a), _ranks(b)
+    if rank_a.std() == 0.0 or rank_b.std() == 0.0:
+        return None
+    return float(np.corrcoef(rank_a, rank_b)[0, 1])
+
+
+def kendall_tau(
+    scores_a: Mapping[str, float], scores_b: Mapping[str, float]
+) -> Optional[float]:
+    """Kendall's tau-a over shared keys (None if degenerate).
+
+    O(n^2) pair counting -- fine for per-context score maps (tens to a few
+    hundred papers).
+    """
+    a, b = _aligned_arrays(scores_a, scores_b)
+    n = len(a)
+    if n < 2:
+        return None
+    concordant = 0
+    discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            sign_a = np.sign(a[i] - a[j])
+            sign_b = np.sign(b[i] - b[j])
+            product = sign_a * sign_b
+            if product > 0:
+                concordant += 1
+            elif product < 0:
+                discordant += 1
+    total_pairs = n * (n - 1) / 2
+    if total_pairs == 0:
+        return None
+    return float((concordant - discordant) / total_pairs)
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> Optional[Tuple[float, float, float]]:
+    """(mean, ci_low, ci_high) by percentile bootstrap; None for empty input.
+
+    Deterministic for a fixed seed, so benches can assert on it.
+    """
+    if not values:
+        return None
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if n_resamples < 1:
+        raise ValueError(f"n_resamples must be >= 1, got {n_resamples}")
+    data = np.asarray(list(values), dtype=float)
+    rng = np.random.default_rng(seed)
+    resample_means = np.array(
+        [
+            data[rng.integers(0, len(data), len(data))].mean()
+            for _ in range(n_resamples)
+        ]
+    )
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(resample_means, [alpha, 1.0 - alpha])
+    return float(data.mean()), float(low), float(high)

@@ -1,0 +1,26 @@
+"""Keyword-search substrate: inverted index + TF-IDF search engine.
+
+This is the PubMed-style baseline the paper compares against, and the
+first stage of AC-answer-set construction ("a standard keyword-based
+search with a high threshold", section 2).
+
+- :mod:`repro.index.inverted` -- the inverted index with per-section
+  postings.
+- :mod:`repro.index.search` -- the :class:`KeywordSearchEngine` with
+  TF-IDF ranking, threshold retrieval, and PubMed-style unranked listing.
+"""
+
+from repro.index.inverted import InvertedIndex, Posting
+from repro.index.positional import PositionalIndex
+from repro.index.search import KeywordHit, KeywordSearchEngine
+from repro.index.snippets import Snippet, best_snippet
+
+__all__ = [
+    "InvertedIndex",
+    "PositionalIndex",
+    "Posting",
+    "KeywordSearchEngine",
+    "KeywordHit",
+    "best_snippet",
+    "Snippet",
+]

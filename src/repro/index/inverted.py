@@ -1,0 +1,153 @@
+"""The inverted index.
+
+Maps analysis terms to postings ``(paper_id, section, term_frequency)``.
+Sections are indexed separately so searches can weight title matches above
+body matches -- the usual digital-library behaviour, and the mechanism the
+context search engine reuses for its text-matching component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.paper import Paper, Section, TEXT_SECTIONS
+from repro.text.analyze import Analyzer, default_analyzer
+
+
+@dataclass(frozen=True)
+class Posting:
+    """One term occurrence record."""
+
+    paper_id: str
+    section: Section
+    term_frequency: int
+
+
+class InvertedIndex:
+    """Section-aware inverted index over a corpus.
+
+    Build once with :meth:`index_corpus` (or incrementally with
+    :meth:`index_paper`); the index also tracks per-section document
+    frequencies and paper lengths needed for TF-IDF scoring.
+    """
+
+    def __init__(self, analyzer: Optional[Analyzer] = None) -> None:
+        self.analyzer = analyzer if analyzer is not None else default_analyzer()
+        self._postings: Dict[str, List[Posting]] = {}
+        self._document_frequency: Dict[str, int] = {}
+        self._paper_terms: Dict[str, Dict[Section, Dict[str, int]]] = {}
+        self._n_papers = 0
+
+    # -- construction -------------------------------------------------------------
+
+    def index_corpus(self, corpus: Corpus) -> "InvertedIndex":
+        """Index every paper in ``corpus``; returns self for chaining."""
+        for paper in corpus:
+            self.index_paper(paper)
+        return self
+
+    def index_paper(self, paper: Paper) -> None:
+        """Index one paper across all textual sections."""
+        if paper.paper_id in self._paper_terms:
+            raise ValueError(f"paper {paper.paper_id!r} is already indexed")
+        per_section: Dict[Section, Dict[str, int]] = {}
+        seen_terms = set()
+        for section in TEXT_SECTIONS:
+            terms = self.analyzer.analyze(paper.section_text(section))
+            if not terms:
+                continue
+            counts: Dict[str, int] = {}
+            for term in terms:
+                counts[term] = counts.get(term, 0) + 1
+            per_section[section] = counts
+            for term, frequency in counts.items():
+                self._postings.setdefault(term, []).append(
+                    Posting(paper.paper_id, section, frequency)
+                )
+                seen_terms.add(term)
+        for term in seen_terms:
+            self._document_frequency[term] = self._document_frequency.get(term, 0) + 1
+        self._paper_terms[paper.paper_id] = per_section
+        self._n_papers += 1
+
+    def remove_paper(self, paper_id: str) -> None:
+        """Remove one paper from the index (ValueError if not indexed).
+
+        Cost is proportional to the paper's vocabulary times those terms'
+        posting-list lengths -- fine for incremental maintenance of a
+        living corpus; rebuild from scratch for bulk deletions.
+        """
+        sections = self._paper_terms.pop(paper_id, None)
+        if sections is None:
+            raise ValueError(f"paper {paper_id!r} is not indexed")
+        terms = {term for counts in sections.values() for term in counts}
+        for term in terms:
+            remaining = [
+                posting
+                for posting in self._postings.get(term, ())
+                if posting.paper_id != paper_id
+            ]
+            if remaining:
+                self._postings[term] = remaining
+            else:
+                self._postings.pop(term, None)
+            df = self._document_frequency.get(term, 0) - 1
+            if df > 0:
+                self._document_frequency[term] = df
+            else:
+                self._document_frequency.pop(term, None)
+        self._n_papers -= 1
+
+    # -- access --------------------------------------------------------------------
+
+    @property
+    def n_papers(self) -> int:
+        return self._n_papers
+
+    @property
+    def n_terms(self) -> int:
+        return len(self._postings)
+
+    def postings(self, term: str) -> List[Posting]:
+        """All postings of ``term`` (empty list if unseen)."""
+        return list(self._postings.get(term, ()))
+
+    def document_frequency(self, term: str) -> int:
+        """Number of papers containing ``term`` in any section."""
+        return self._document_frequency.get(term, 0)
+
+    def papers_containing(self, term: str) -> List[str]:
+        """Distinct paper ids containing ``term``, in indexing order."""
+        seen: Dict[str, None] = {}
+        for posting in self._postings.get(term, ()):
+            seen.setdefault(posting.paper_id, None)
+        return list(seen)
+
+    def term_frequency(
+        self, paper_id: str, term: str, section: Optional[Section] = None
+    ) -> int:
+        """Frequency of ``term`` in ``paper_id`` (one section or summed)."""
+        sections = self._paper_terms.get(paper_id)
+        if sections is None:
+            return 0
+        if section is not None:
+            return sections.get(section, {}).get(term, 0)
+        return sum(counts.get(term, 0) for counts in sections.values())
+
+    def paper_section_terms(
+        self, paper_id: str, section: Section
+    ) -> Mapping[str, int]:
+        """Term-count map of one paper section (empty if absent)."""
+        return dict(self._paper_terms.get(paper_id, {}).get(section, {}))
+
+    def vocabulary(self) -> Iterable[str]:
+        """All indexed terms."""
+        return self._postings.keys()
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._postings
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"InvertedIndex({self._n_papers} papers, {self.n_terms} terms)"

@@ -1,0 +1,111 @@
+"""Positional inverted index: exact phrase queries.
+
+Extends :class:`~repro.index.inverted.InvertedIndex` with per-section
+term position lists, enabling
+
+- exact phrase containment (``papers_containing_phrase``), used by
+  pattern matching when exact PaperCoverage is wanted instead of the
+  conjunctive approximation;
+- quoted-phrase keyword queries in the search engine.
+
+Memory cost is one integer per token occurrence -- acceptable for the
+corpus sizes this system targets and strictly opt-in (the plain index
+remains the default).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Sequence, Tuple
+
+from repro.corpus.paper import Paper, Section, TEXT_SECTIONS
+from repro.index.inverted import InvertedIndex
+
+
+class PositionalIndex(InvertedIndex):
+    """Inverted index that additionally records token positions."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: (paper_id, section) -> term -> sorted positions
+        self._positions: Dict[Tuple[str, Section], Dict[str, List[int]]] = {}
+
+    def index_paper(self, paper: Paper) -> None:
+        super().index_paper(paper)
+        for section in TEXT_SECTIONS:
+            terms = self.analyzer.analyze(paper.section_text(section))
+            if not terms:
+                continue
+            positions: Dict[str, List[int]] = {}
+            for offset, term in enumerate(terms):
+                positions.setdefault(term, []).append(offset)
+            self._positions[(paper.paper_id, section)] = positions
+
+    def remove_paper(self, paper_id: str) -> None:
+        super().remove_paper(paper_id)
+        for section in TEXT_SECTIONS:
+            self._positions.pop((paper_id, section), None)
+
+    # -- positional access ---------------------------------------------------------
+
+    def positions(self, paper_id: str, term: str, section: Section) -> List[int]:
+        """Sorted offsets of ``term`` in one section (empty if absent)."""
+        return list(self._positions.get((paper_id, section), {}).get(term, ()))
+
+    def phrase_positions(
+        self, paper_id: str, phrase: Sequence[str], section: Section
+    ) -> List[int]:
+        """Start offsets where ``phrase`` occurs contiguously in a section.
+
+        Standard positional-intersection: start from the first term's
+        positions and keep those where every later term appears at the
+        right offset.
+        """
+        if not phrase:
+            return []
+        section_positions = self._positions.get((paper_id, section))
+        if section_positions is None:
+            return []
+        starts = section_positions.get(phrase[0])
+        if not starts:
+            return []
+        result = list(starts)
+        for distance, term in enumerate(phrase[1:], start=1):
+            term_positions = section_positions.get(term)
+            if not term_positions:
+                return []
+            result = [
+                start
+                for start in result
+                if _contains(term_positions, start + distance)
+            ]
+            if not result:
+                return []
+        return result
+
+    def phrase_frequency(self, paper_id: str, phrase: Sequence[str]) -> int:
+        """Total occurrences of ``phrase`` across all sections of a paper."""
+        return sum(
+            len(self.phrase_positions(paper_id, phrase, section))
+            for section in TEXT_SECTIONS
+        )
+
+    def papers_containing_phrase(self, phrase: Sequence[str]) -> List[str]:
+        """Paper ids containing ``phrase`` contiguously in any section.
+
+        Candidates come from the cheapest conjunctive intersection, then
+        each is verified positionally -- exact at index-lookup cost.
+        """
+        phrase = list(phrase)
+        if not phrase:
+            return []
+        candidate_sets = [set(self.papers_containing(term)) for term in phrase]
+        candidates = set.intersection(*candidate_sets) if candidate_sets else set()
+        return sorted(
+            pid for pid in candidates if self.phrase_frequency(pid, phrase) > 0
+        )
+
+
+def _contains(sorted_list: List[int], value: int) -> bool:
+    index = bisect_left(sorted_list, value)
+    return index < len(sorted_list) and sorted_list[index] == value

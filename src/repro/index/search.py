@@ -1,0 +1,309 @@
+"""The keyword search engine (PubMed-style baseline).
+
+Two retrieval modes, matching the two roles the baseline plays in the
+paper:
+
+- :meth:`KeywordSearchEngine.search` -- ranked retrieval (TF-IDF by
+  default, BM25 optionally) with section weighting and optional score
+  threshold.  Scores are normalised to [0, 1] by the maximum achievable
+  self-score of the query, so the "high threshold" seed step of
+  AC-answer-set construction has an absolute scale to cut against.
+- :meth:`KeywordSearchEngine.search_unranked` -- the PubMed behaviour the
+  introduction criticises: every paper containing all query terms, listed
+  in descending id/year order with *no* relevance score.
+
+Quoted segments (``'"gene expression" yeast'``) are exact-phrase filters
+when the engine runs over a :class:`~repro.index.positional.PositionalIndex`.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.paper import Section
+from repro.index.inverted import InvertedIndex
+
+_PHRASE_RE = re.compile(r'"([^"]*)"')
+
+#: Default per-section match weights: a title hit is worth more than a body
+#: hit, mirroring standard digital-library ranking practice.
+DEFAULT_SECTION_WEIGHTS: Mapping[Section, float] = {
+    Section.TITLE: 3.0,
+    Section.ABSTRACT: 2.0,
+    Section.INDEX_TERMS: 2.0,
+    Section.BODY: 1.0,
+}
+
+
+@dataclass(frozen=True)
+class KeywordHit:
+    """One ranked search result."""
+
+    paper_id: str
+    score: float
+    matched_terms: int
+
+
+class KeywordSearchEngine:
+    """Ranked keyword search over an :class:`InvertedIndex`.
+
+    Parameters
+    ----------
+    scoring:
+        ``"tfidf"`` (sublinear tf x smoothed idf, the default used by the
+        reproduction experiments) or ``"bm25"`` (Okapi BM25 with
+        per-section length normalisation).
+    k1, b:
+        BM25 saturation and length-normalisation constants (ignored for
+        TF-IDF).
+    """
+
+    def __init__(
+        self,
+        index: InvertedIndex,
+        section_weights: Optional[Mapping[Section, float]] = None,
+        scoring: str = "tfidf",
+        k1: float = 1.5,
+        b: float = 0.75,
+    ) -> None:
+        if scoring not in ("tfidf", "bm25"):
+            raise ValueError(f"scoring must be 'tfidf' or 'bm25', got {scoring!r}")
+        if k1 <= 0 or not 0.0 <= b <= 1.0:
+            raise ValueError(f"need k1 > 0 and 0 <= b <= 1, got k1={k1}, b={b}")
+        self.index = index
+        self.section_weights = (
+            dict(section_weights)
+            if section_weights is not None
+            else dict(DEFAULT_SECTION_WEIGHTS)
+        )
+        self.scoring = scoring
+        self.k1 = k1
+        self.b = b
+        self._section_lengths: Optional[Dict[Tuple[str, Section], int]] = None
+        self._avg_section_length: Optional[Dict[Section, float]] = None
+
+    # -- ranked retrieval ----------------------------------------------------------
+
+    def search(
+        self,
+        query: str,
+        limit: Optional[int] = None,
+        threshold: float = 0.0,
+        require_all_terms: bool = False,
+    ) -> List[KeywordHit]:
+        """Ranked TF-IDF retrieval.
+
+        Parameters
+        ----------
+        query:
+            Free-text query; analysed with the index's analyzer.
+        limit:
+            Return at most this many hits (None = all).
+        threshold:
+            Drop hits scoring below this value (scores are in [0, 1]).
+        require_all_terms:
+            If True, keep only papers matching *every* distinct query term
+            (boolean AND semantics, like PubMed).
+        """
+        distinct_terms, phrases = self._parse_query(query)
+        if not distinct_terms:
+            return []
+        scores: Dict[str, float] = {}
+        matches: Dict[str, set] = {}
+        for term in distinct_terms:
+            idf = self._idf(term)
+            if idf == 0.0:
+                continue
+            for posting in self.index.postings(term):
+                weight = self.section_weights.get(posting.section, 1.0)
+                tf_component = self._tf_component(posting)
+                scores[posting.paper_id] = scores.get(posting.paper_id, 0.0) + (
+                    weight * tf_component * idf
+                )
+                matches.setdefault(posting.paper_id, set()).add(term)
+
+        allowed = self._phrase_filter(phrases)
+        max_score = self._max_possible_score(distinct_terms)
+        hits = []
+        for paper_id, raw in scores.items():
+            if require_all_terms and len(matches[paper_id]) < len(distinct_terms):
+                continue
+            if allowed is not None and paper_id not in allowed:
+                continue
+            normalised = raw / max_score if max_score > 0 else 0.0
+            normalised = min(normalised, 1.0)
+            if normalised >= threshold:
+                hits.append(
+                    KeywordHit(
+                        paper_id=paper_id,
+                        score=normalised,
+                        matched_terms=len(matches[paper_id]),
+                    )
+                )
+        hits.sort(key=lambda hit: (-hit.score, hit.paper_id))
+        if limit is not None:
+            hits = hits[:limit]
+        return hits
+
+    def _parse_query(self, query: str) -> Tuple[List[str], List[List[str]]]:
+        """Split a query into distinct scoring terms + quoted phrase filters."""
+        phrases = []
+        for raw_phrase in _PHRASE_RE.findall(query):
+            terms = self.index.analyzer.analyze(raw_phrase)
+            if terms:
+                phrases.append(terms)
+        unquoted = _PHRASE_RE.sub(" ", query)
+        terms = self.index.analyzer.analyze(unquoted)
+        for phrase in phrases:
+            terms.extend(phrase)  # phrase words still contribute to scoring
+        return list(dict.fromkeys(terms)), phrases
+
+    def _phrase_filter(self, phrases: List[List[str]]) -> Optional[set]:
+        """Papers containing every quoted phrase (None = no phrase filter)."""
+        if not phrases:
+            return None
+        papers_containing_phrase = getattr(
+            self.index, "papers_containing_phrase", None
+        )
+        if papers_containing_phrase is None:
+            raise TypeError(
+                "quoted-phrase queries need a PositionalIndex "
+                "(repro.index.positional); this engine's index has no "
+                "positional data"
+            )
+        allowed: Optional[set] = None
+        for phrase in phrases:
+            containing = set(papers_containing_phrase(phrase))
+            allowed = containing if allowed is None else allowed & containing
+            if not allowed:
+                break
+        return allowed if allowed is not None else set()
+
+    # -- scoring components ----------------------------------------------------------
+
+    def _tf_component(self, posting) -> float:
+        """Per-posting term-frequency factor under the active scheme."""
+        if self.scoring == "tfidf":
+            return 1.0 + math.log(posting.term_frequency)
+        # BM25 with per-section length normalisation.
+        lengths, averages = self._ensure_lengths()
+        length = lengths.get((posting.paper_id, posting.section), 0)
+        average = averages.get(posting.section, 0.0)
+        denominator_norm = 1.0 - self.b + (
+            self.b * (length / average) if average > 0 else 0.0
+        )
+        tf = posting.term_frequency
+        return tf * (self.k1 + 1.0) / (tf + self.k1 * denominator_norm)
+
+    def _ensure_lengths(self):
+        # Invalidate when the index's paper count changed (papers added or
+        # removed since the lengths were computed).
+        if (
+            self._section_lengths is not None
+            and getattr(self, "_lengths_n_papers", None) != self.index.n_papers
+        ):
+            self._section_lengths = None
+            self._avg_section_length = None
+        if self._section_lengths is None:
+            lengths: Dict[Tuple[str, Section], int] = {}
+            totals: Dict[Section, int] = {}
+            counts: Dict[Section, int] = {}
+            for term in self.index.vocabulary():
+                for posting in self.index.postings(term):
+                    key = (posting.paper_id, posting.section)
+                    lengths[key] = lengths.get(key, 0) + posting.term_frequency
+            for (_, section), length in lengths.items():
+                totals[section] = totals.get(section, 0) + length
+                counts[section] = counts.get(section, 0) + 1
+            self._section_lengths = lengths
+            self._avg_section_length = {
+                section: totals[section] / counts[section] for section in totals
+            }
+            self._lengths_n_papers = self.index.n_papers
+        return self._section_lengths, self._avg_section_length
+
+    def match_score(self, query: str, paper_id: str) -> float:
+        """Text-matching score of one (query, paper) pair in [0, 1].
+
+        This is the ``text_matching_score(p, q)`` component of the
+        relevancy formula in section 3.
+        """
+        distinct_terms, _phrases = self._parse_query(query)
+        if not distinct_terms:
+            return 0.0
+        raw = 0.0
+        for term in distinct_terms:
+            idf = self._idf(term)
+            if idf == 0.0:
+                continue
+            for section, weight in self.section_weights.items():
+                tf = self.index.term_frequency(paper_id, term, section)
+                if tf > 0:
+                    posting = _ScoringPosting(paper_id, section, tf)
+                    raw += weight * self._tf_component(posting) * idf
+        max_score = self._max_possible_score(distinct_terms)
+        if max_score == 0.0:
+            return 0.0
+        return min(raw / max_score, 1.0)
+
+    # -- PubMed-style unranked retrieval --------------------------------------------
+
+    def search_unranked(self, query: str, corpus: Corpus) -> List[str]:
+        """Boolean-AND retrieval listed by descending (year, id) -- no scores.
+
+        Reproduces the PubMed behaviour described in the introduction:
+        "PubMed simply lists search results in descending order of their
+        PubMed ids or publication years."
+        """
+        query_terms = list(dict.fromkeys(self.index.analyzer.analyze(query)))
+        if not query_terms:
+            return []
+        candidate_sets = [set(self.index.papers_containing(t)) for t in query_terms]
+        if not candidate_sets or any(not s for s in candidate_sets):
+            return []
+        result = set.intersection(*candidate_sets)
+        return sorted(
+            result,
+            key=lambda pid: (-corpus.paper(pid).year, pid),
+            reverse=False,
+        )
+
+    # -- internals --------------------------------------------------------------------
+
+    def _idf(self, term: str) -> float:
+        df = self.index.document_frequency(term)
+        if df == 0:
+            return 0.0
+        if self.scoring == "bm25":
+            n = self.index.n_papers
+            return math.log(1.0 + (n - df + 0.5) / (df + 0.5))
+        return math.log((1.0 + self.index.n_papers) / (1.0 + df)) + 1.0
+
+    def _max_possible_score(self, distinct_terms: Sequence[str]) -> float:
+        """Upper bound: every term matched in every section at a saturating tf.
+
+        Using a shared bound for all papers keeps scores comparable across
+        papers and bounded by 1 without per-paper renormalisation.  For
+        TF-IDF a tf of e^2 (~7 occurrences) is treated as saturation; for
+        BM25 the tf component saturates at k1 + 1 by construction.
+        """
+        total_weight = sum(self.section_weights.values())
+        saturating_tf = (self.k1 + 1.0) if self.scoring == "bm25" else 3.0
+        return sum(
+            total_weight * saturating_tf * self._idf(term)
+            for term in distinct_terms
+            if self._idf(term) > 0.0
+        )
+
+
+@dataclass(frozen=True)
+class _ScoringPosting:
+    """Minimal posting stand-in for scoring one (paper, section, tf) cell."""
+
+    paper_id: str
+    section: Section
+    term_frequency: int

@@ -1,0 +1,108 @@
+"""Query-aware result snippets.
+
+A digital-library front end shows each hit with a fragment of text around
+the query terms.  :func:`best_snippet` picks the window of a paper with
+the densest coverage of (analysed) query terms, preferring abstracts over
+bodies, and returns the *original* (unanalysed) words so the snippet
+reads naturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.corpus.paper import Paper, Section
+from repro.text.analyze import Analyzer, default_analyzer
+from repro.text.tokenize import tokenize
+
+#: Sections tried in order; the first with any query-term hit wins ties.
+SNIPPET_SECTIONS: Tuple[Section, ...] = (
+    Section.ABSTRACT,
+    Section.BODY,
+    Section.TITLE,
+)
+
+
+@dataclass(frozen=True)
+class Snippet:
+    """A display fragment with match bookkeeping."""
+
+    text: str
+    section: Section
+    matched_terms: int
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def best_snippet(
+    paper: Paper,
+    query: str,
+    window: int = 20,
+    analyzer: Optional[Analyzer] = None,
+    sections: Sequence[Section] = SNIPPET_SECTIONS,
+) -> Optional[Snippet]:
+    """The ``window``-word fragment covering the most distinct query terms.
+
+    Returns None when no section contains any query term.  Ellipses mark
+    truncation on either side.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    analyzer = analyzer if analyzer is not None else default_analyzer()
+    query_terms = set(analyzer.analyze(query))
+    if not query_terms:
+        return None
+
+    best: Optional[Snippet] = None
+    for section in sections:
+        raw_words = tokenize(paper.section_text(section), lowercase=False)
+        if not raw_words:
+            continue
+        # Analyse word-by-word so display words align with analysed terms:
+        # a raw word matches if its analysed form is a query term.
+        hits = [
+            i
+            for i, word in enumerate(raw_words)
+            if (analyzed := analyzer.analyze_tokens([word.lower()]))
+            and analyzed[0] in query_terms
+        ]
+        if not hits:
+            continue
+        start, matched = _densest_window(raw_words, hits, window, analyzer, query_terms)
+        end = min(start + window, len(raw_words))
+        prefix = "... " if start > 0 else ""
+        suffix = " ..." if end < len(raw_words) else ""
+        candidate = Snippet(
+            text=prefix + " ".join(raw_words[start:end]) + suffix,
+            section=section,
+            matched_terms=matched,
+        )
+        if best is None or candidate.matched_terms > best.matched_terms:
+            best = candidate
+    return best
+
+
+def _densest_window(
+    raw_words: List[str],
+    hit_positions: List[int],
+    window: int,
+    analyzer: Analyzer,
+    query_terms: set,
+) -> Tuple[int, int]:
+    """(start, distinct-term count) of the best window over the hits."""
+    best_start = max(hit_positions[0] - window // 4, 0)
+    best_count = 0
+    for anchor in hit_positions:
+        start = max(anchor - window // 4, 0)
+        end = min(start + window, len(raw_words))
+        distinct = set()
+        for word in raw_words[start:end]:
+            analyzed = analyzer.analyze_tokens([word.lower()])
+            if analyzed and analyzed[0] in query_terms:
+                distinct.add(analyzed[0])
+        if len(distinct) > best_count:
+            best_count = len(distinct)
+            best_start = start
+    return best_start, best_count

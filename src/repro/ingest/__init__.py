@@ -1,0 +1,25 @@
+"""Real-data ingestion: PubMed/MEDLINE XML and GO annotation (GAF) files.
+
+The paper's testbed was 72,027 parsed PubMed papers annotated against the
+Gene Ontology.  This package provides the parsers a user needs to rebuild
+that testbed from public data:
+
+- :mod:`repro.ingest.medline` -- stream a MEDLINE/PubMed XML export into
+  :class:`~repro.corpus.paper.Paper` records (PMID, title, abstract,
+  authors, MeSH terms as index terms, year, reference PMIDs);
+- :mod:`repro.ingest.gaf` -- read GO Annotation File (GAF 2.x) rows into
+  the per-term training map (PMID evidence references, filtered by
+  evidence code).
+
+Identifiers are normalised to ``PMID:<n>`` on both sides so the corpus
+and the training map line up.
+"""
+
+from repro.ingest.gaf import EXPERIMENTAL_EVIDENCE_CODES, read_gaf_training_map
+from repro.ingest.medline import read_medline_xml
+
+__all__ = [
+    "read_medline_xml",
+    "read_gaf_training_map",
+    "EXPERIMENTAL_EVIDENCE_CODES",
+]

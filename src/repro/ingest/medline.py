@@ -1,0 +1,165 @@
+"""MEDLINE/PubMed XML parsing.
+
+Streams a ``PubmedArticleSet`` export (what NCBI E-utilities ``efetch``
+returns with ``rettype=xml``) into :class:`Paper` records using
+``xml.etree.ElementTree.iterparse``, so multi-gigabyte exports parse at
+constant memory.
+
+Field mapping:
+
+=================  ====================================================
+Paper field        MEDLINE source
+=================  ====================================================
+paper_id           ``MedlineCitation/PMID`` as ``PMID:<n>``
+title              ``Article/ArticleTitle``
+abstract           all ``Abstract/AbstractText`` chunks joined (labelled
+                   sections keep their label as a lead-in)
+body               empty -- MEDLINE carries no full text; populate it
+                   separately (e.g. from PubMed Central) if available
+index_terms        ``MeshHeadingList/MeshHeading/DescriptorName``
+authors            ``AuthorList/Author`` as ``"Initials LastName"``
+                   (or ``CollectiveName``)
+references         ``PubmedData/ReferenceList//ArticleId[@IdType=
+                   "pubmed"]`` as ``PMID:<n>``
+year               first of ``PubDate/Year``, ``DateCompleted/Year``
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import IO, Iterator, List, Optional, Union
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.paper import Paper
+
+Source = Union[str, Path, IO]
+
+
+def pmid_id(raw: str) -> str:
+    """Normalise a PMID string to the canonical ``PMID:<n>`` form."""
+    cleaned = raw.strip()
+    if cleaned.upper().startswith("PMID:"):
+        cleaned = cleaned[5:]
+    return f"PMID:{cleaned}"
+
+
+def iter_medline_papers(source: Source) -> Iterator[Paper]:
+    """Yield one :class:`Paper` per ``PubmedArticle`` element."""
+    for _event, element in ET.iterparse(source, events=("end",)):
+        if element.tag != "PubmedArticle":
+            continue
+        paper = _parse_article(element)
+        if paper is not None:
+            yield paper
+        element.clear()  # constant-memory streaming
+
+
+def read_medline_xml(source: Source, default_year: int = 2000) -> Corpus:
+    """Parse a whole MEDLINE XML export into a :class:`Corpus`.
+
+    Articles without a PMID are skipped (they cannot be referenced);
+    duplicate PMIDs keep the first occurrence, matching NCBI's own
+    de-duplication advice for merged exports.
+    """
+    corpus = Corpus()
+    for paper in iter_medline_papers(source):
+        if paper.paper_id in corpus:
+            continue
+        if paper.year == 0:
+            paper = Paper.from_dict({**paper.to_dict(), "year": default_year})
+        corpus.add(paper)
+    return corpus
+
+
+def _parse_article(element: ET.Element) -> Optional[Paper]:
+    citation = element.find("MedlineCitation")
+    if citation is None:
+        return None
+    pmid_element = citation.find("PMID")
+    if pmid_element is None or not (pmid_element.text or "").strip():
+        return None
+    article = citation.find("Article")
+    title = _text(article.find("ArticleTitle")) if article is not None else ""
+    abstract = _parse_abstract(article)
+    authors = _parse_authors(article)
+    mesh_terms = tuple(
+        _text(descriptor)
+        for descriptor in citation.findall(
+            "MeshHeadingList/MeshHeading/DescriptorName"
+        )
+        if _text(descriptor)
+    )
+    references = _parse_references(element)
+    year = _parse_year(citation, article)
+    return Paper(
+        paper_id=pmid_id(pmid_element.text),
+        title=title,
+        abstract=abstract,
+        body="",
+        index_terms=mesh_terms,
+        authors=tuple(authors),
+        references=tuple(references),
+        year=year,
+    )
+
+
+def _parse_abstract(article: Optional[ET.Element]) -> str:
+    if article is None:
+        return ""
+    chunks: List[str] = []
+    for chunk in article.findall("Abstract/AbstractText"):
+        text = _text(chunk)
+        if not text:
+            continue
+        label = chunk.get("Label")
+        chunks.append(f"{label}: {text}" if label else text)
+    return " ".join(chunks)
+
+
+def _parse_authors(article: Optional[ET.Element]) -> List[str]:
+    if article is None:
+        return []
+    authors: List[str] = []
+    for author in article.findall("AuthorList/Author"):
+        collective = _text(author.find("CollectiveName"))
+        if collective:
+            authors.append(collective)
+            continue
+        last = _text(author.find("LastName"))
+        initials = _text(author.find("Initials"))
+        if last:
+            authors.append(f"{initials} {last}".strip())
+    return authors
+
+
+def _parse_references(element: ET.Element) -> List[str]:
+    references: List[str] = []
+    for article_id in element.findall(
+        "PubmedData/ReferenceList//ArticleId"
+    ):
+        if article_id.get("IdType") == "pubmed" and _text(article_id):
+            references.append(pmid_id(article_id.text or ""))
+    return references
+
+
+def _parse_year(
+    citation: ET.Element, article: Optional[ET.Element]
+) -> int:
+    candidates = []
+    if article is not None:
+        candidates.append(
+            _text(article.find("Journal/JournalIssue/PubDate/Year"))
+        )
+    candidates.append(_text(citation.find("DateCompleted/Year")))
+    for candidate in candidates:
+        if candidate.isdigit():
+            return int(candidate)
+    return 0
+
+
+def _text(element: Optional[ET.Element]) -> str:
+    if element is None or element.text is None:
+        return ""
+    return element.text.strip()

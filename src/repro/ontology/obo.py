@@ -1,0 +1,112 @@
+"""Reader/writer for the OBO 1.2 subset needed to load the Gene Ontology.
+
+Only ``[Term]`` stanzas with ``id``, ``name``, ``namespace``, ``is_a`` and
+``is_obsolete`` tags are interpreted; everything else (synonyms, xrefs,
+other relationship types) is skipped.  That is exactly the structural
+information the paper's pipeline consumes, and it means a real
+``go-basic.obo`` download loads directly into :class:`Ontology`.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Dict, Iterable, List, TextIO, Union
+
+from repro.ontology.ontology import Ontology
+from repro.ontology.term import Term
+
+PathOrFile = Union[str, Path, TextIO]
+
+
+def read_obo(source: PathOrFile, skip_obsolete: bool = True) -> Ontology:
+    """Parse an OBO file (path, or open text handle) into an :class:`Ontology`.
+
+    ``is_a`` references to terms missing from the file (e.g. obsolete
+    parents that were skipped) are dropped rather than failing, so partial
+    extracts load cleanly.
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            stanzas = _parse_stanzas(handle)
+    else:
+        stanzas = _parse_stanzas(source)
+
+    raw_terms: List[Dict[str, object]] = []
+    known_ids = set()
+    for stanza in stanzas:
+        term_id = stanza.get("id")
+        if not term_id:
+            continue
+        if skip_obsolete and stanza.get("is_obsolete") == "true":
+            continue
+        known_ids.add(term_id)
+        raw_terms.append(
+            {
+                "id": term_id,
+                "name": stanza.get("name", term_id),
+                "namespace": stanza.get("namespace", "unknown"),
+                "is_a": stanza.get("is_a_list", []),
+            }
+        )
+
+    terms = [
+        Term(
+            term_id=str(raw["id"]),
+            name=str(raw["name"]),
+            namespace=str(raw["namespace"]),
+            parent_ids=tuple(
+                parent for parent in raw["is_a"] if parent in known_ids  # type: ignore[union-attr]
+            ),
+        )
+        for raw in raw_terms
+    ]
+    return Ontology(terms)
+
+
+def _parse_stanzas(handle: TextIO) -> List[Dict[str, object]]:
+    """Split an OBO stream into ``[Term]`` stanza dictionaries."""
+    stanzas: List[Dict[str, object]] = []
+    current: "Dict[str, object] | None" = None
+    for raw_line in handle:
+        line = raw_line.strip()
+        if not line or line.startswith("!"):
+            continue
+        if line.startswith("["):
+            if line == "[Term]":
+                current = {"is_a_list": []}
+                stanzas.append(current)
+            else:
+                current = None  # [Typedef] etc. -- ignored
+            continue
+        if current is None or ":" not in line:
+            continue
+        tag, _, value = line.partition(":")
+        tag = tag.strip()
+        value = value.split("!", 1)[0].strip()  # drop trailing comments
+        if tag == "is_a":
+            # value looks like "GO:0008150 ! biological_process"
+            current["is_a_list"].append(value.split()[0])  # type: ignore[union-attr]
+        elif tag in ("id", "name", "namespace", "is_obsolete"):
+            current[tag] = value
+    return stanzas
+
+
+def write_obo(ontology: Ontology, destination: PathOrFile) -> None:
+    """Serialise ``ontology`` as minimal OBO (round-trips with :func:`read_obo`)."""
+    buffer = io.StringIO()
+    buffer.write("format-version: 1.2\n")
+    buffer.write("ontology: repro-synthetic\n")
+    for term in ontology:
+        buffer.write("\n[Term]\n")
+        buffer.write(f"id: {term.term_id}\n")
+        buffer.write(f"name: {term.name}\n")
+        buffer.write(f"namespace: {term.namespace}\n")
+        for parent in term.parent_ids:
+            buffer.write(f"is_a: {parent}\n")
+    text = buffer.getvalue()
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        destination.write(text)

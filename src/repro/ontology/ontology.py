@@ -1,0 +1,284 @@
+"""The ontology DAG: hierarchy queries, levels, and information content.
+
+Implements every structural operation the paper's pipeline needs:
+
+- parents / children / ancestors / descendants over ``is_a`` edges;
+- term *level* -- root terms are level 1, and a term's level is
+  ``1 + min(level of parents)`` (the shortest path from a root, matching
+  "Level 1 = root level" in figure 5.3's caption);
+- information content ``I(C) = log(1 / p(C))`` with
+  ``p(C) = (# descendants of C) / (# terms in the ontology)`` exactly as
+  defined in section 4 (Resnik, reference [13]); the descendant count
+  includes C itself so no term has p = 0;
+- ``RateOfDecay(C_ancs, C_desc) = I(C_ancs) / I(C_desc)`` used when a
+  context inherits papers from an ancestor.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.ontology.term import Term
+
+
+class OntologyError(ValueError):
+    """Raised for structural problems: unknown ids, cycles, bad edges."""
+
+
+class Ontology:
+    """An immutable-after-construction DAG of :class:`Term` objects."""
+
+    def __init__(self, terms: Iterable[Term]) -> None:
+        self._terms: Dict[str, Term] = {}
+        for term in terms:
+            if term.term_id in self._terms:
+                raise OntologyError(f"duplicate term id {term.term_id!r}")
+            self._terms[term.term_id] = term
+        self._children: Dict[str, List[str]] = {tid: [] for tid in self._terms}
+        for term in self._terms.values():
+            for parent_id in term.parent_ids:
+                if parent_id not in self._terms:
+                    raise OntologyError(
+                        f"{term.term_id} lists unknown parent {parent_id!r}"
+                    )
+                self._children[parent_id].append(term.term_id)
+        for child_list in self._children.values():
+            child_list.sort()
+        self._levels = self._compute_levels()
+        self._descendant_counts: Optional[Dict[str, int]] = None
+
+    # -- basic access ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term_id: str) -> bool:
+        return term_id in self._terms
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self._terms.values())
+
+    def term(self, term_id: str) -> Term:
+        """Return the term with ``term_id`` (raises OntologyError if absent)."""
+        try:
+            return self._terms[term_id]
+        except KeyError:
+            raise OntologyError(f"unknown term id {term_id!r}") from None
+
+    def term_ids(self) -> List[str]:
+        """All term ids in insertion order."""
+        return list(self._terms)
+
+    @property
+    def roots(self) -> List[str]:
+        """Ids of terms with no parents, sorted."""
+        return sorted(tid for tid, t in self._terms.items() if not t.parent_ids)
+
+    # -- hierarchy -------------------------------------------------------------
+
+    def parents(self, term_id: str) -> List[str]:
+        """Direct ``is_a`` parents of ``term_id``."""
+        return list(self.term(term_id).parent_ids)
+
+    def children(self, term_id: str) -> List[str]:
+        """Direct children of ``term_id``, sorted by id."""
+        self.term(term_id)  # validate
+        return list(self._children[term_id])
+
+    def ancestors(self, term_id: str, include_self: bool = False) -> Set[str]:
+        """All transitive ancestors of ``term_id``."""
+        result: Set[str] = set()
+        queue = deque(self.term(term_id).parent_ids)
+        while queue:
+            current = queue.popleft()
+            if current in result:
+                continue
+            result.add(current)
+            queue.extend(self._terms[current].parent_ids)
+        if include_self:
+            result.add(term_id)
+        return result
+
+    def descendants(self, term_id: str, include_self: bool = False) -> Set[str]:
+        """All transitive descendants of ``term_id``."""
+        result: Set[str] = set()
+        queue = deque(self._children[self.term(term_id).term_id])
+        while queue:
+            current = queue.popleft()
+            if current in result:
+                continue
+            result.add(current)
+            queue.extend(self._children[current])
+        if include_self:
+            result.add(term_id)
+        return result
+
+    def is_ancestor(self, ancestor_id: str, descendant_id: str) -> bool:
+        """True if ``ancestor_id`` is a strict ancestor of ``descendant_id``."""
+        return ancestor_id in self.ancestors(descendant_id)
+
+    def are_hierarchically_related(self, a: str, b: str) -> bool:
+        """True if one term is an ancestor of the other (or they are equal).
+
+        Used by the section-7 extension when grading cross-context
+        relationship weights.
+        """
+        if a == b:
+            return True
+        return self.is_ancestor(a, b) or self.is_ancestor(b, a)
+
+    def level(self, term_id: str) -> int:
+        """Depth of ``term_id``: roots are level 1 (figure 5.3 convention)."""
+        self.term(term_id)
+        return self._levels[term_id]
+
+    def terms_at_level(self, level: int) -> List[str]:
+        """Ids of all terms whose level equals ``level``, sorted."""
+        return sorted(tid for tid, lv in self._levels.items() if lv == level)
+
+    @property
+    def max_level(self) -> int:
+        """Deepest level present in the ontology (0 for an empty ontology)."""
+        return max(self._levels.values(), default=0)
+
+    def _compute_levels(self) -> Dict[str, int]:
+        """BFS from the roots; also detects cycles/unreachable terms."""
+        levels: Dict[str, int] = {}
+        queue: deque = deque()
+        for root in self.roots:
+            levels[root] = 1
+            queue.append(root)
+        while queue:
+            current = queue.popleft()
+            next_level = levels[current] + 1
+            for child in self._children[current]:
+                known = levels.get(child)
+                if known is None or next_level < known:
+                    levels[child] = next_level
+                    queue.append(child)
+        if len(levels) != len(self._terms):
+            orphans = sorted(set(self._terms) - set(levels))
+            raise OntologyError(
+                "ontology contains cycles or terms unreachable from any root: "
+                f"{orphans[:5]}{'...' if len(orphans) > 5 else ''}"
+            )
+        return levels
+
+    # -- information content -----------------------------------------------------
+
+    def p(self, term_id: str) -> float:
+        """Relative size p(C) = (# descendants of C, incl. C) / (# terms)."""
+        counts = self._descendant_count_map()
+        self.term(term_id)
+        return counts[term_id] / len(self._terms)
+
+    def information_content(self, term_id: str) -> float:
+        """I(C) = log(1 / p(C)).  Roots approach 0; leaves are largest."""
+        return math.log(1.0 / self.p(term_id))
+
+    def rate_of_decay(self, ancestor_id: str, descendant_id: str) -> float:
+        """RateOfDecay(C_ancs, C_desc) = I(C_ancs) / I(C_desc) (section 4).
+
+        Quantifies informativeness lost when a descendant context inherits
+        its ancestor's papers.  Always in [0, 1] when ``ancestor_id`` really
+        is an ancestor (ancestors have lower information content).  A root
+        ancestor with I = 0 yields 0: inheriting from the root conveys
+        nothing about the specific term.
+        """
+        if not self.is_ancestor(ancestor_id, descendant_id):
+            raise OntologyError(
+                f"{ancestor_id} is not an ancestor of {descendant_id}"
+            )
+        ic_descendant = self.information_content(descendant_id)
+        if ic_descendant == 0.0:
+            return 1.0
+        return self.information_content(ancestor_id) / ic_descendant
+
+    def _descendant_count_map(self) -> Dict[str, int]:
+        """Count of descendants (incl. self) per term, computed once.
+
+        Runs one reverse-topological pass accumulating descendant *sets*
+        (a term can reach the same descendant through multiple parents, so
+        plain count addition would double-count in a DAG).
+        """
+        if self._descendant_counts is not None:
+            return self._descendant_counts
+        order = self._topological_order()
+        reachable: Dict[str, FrozenSet[str]] = {}
+        for term_id in reversed(order):
+            below: Set[str] = {term_id}
+            for child in self._children[term_id]:
+                below.update(reachable[child])
+            reachable[term_id] = frozenset(below)
+        self._descendant_counts = {tid: len(s) for tid, s in reachable.items()}
+        return self._descendant_counts
+
+    def _topological_order(self) -> List[str]:
+        """Kahn's algorithm over parent->child edges (parents first)."""
+        in_degree = {tid: len(t.parent_ids) for tid, t in self._terms.items()}
+        queue = deque(sorted(tid for tid, deg in in_degree.items() if deg == 0))
+        order: List[str] = []
+        while queue:
+            current = queue.popleft()
+            order.append(current)
+            for child in self._children[current]:
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    queue.append(child)
+        if len(order) != len(self._terms):
+            raise OntologyError("ontology graph contains a cycle")
+        return order
+
+    # -- restriction ---------------------------------------------------------------
+
+    def subontology(self, namespace: str) -> "Ontology":
+        """The ontology restricted to one namespace (e.g. GO aspect).
+
+        The real Gene Ontology carries three aspects in one file
+        (biological_process, molecular_function, cellular_component);
+        context-based search runs within one.  ``is_a`` references to
+        terms outside the namespace are dropped, so cross-aspect links
+        never leak in.  Raises if the namespace matches no term.
+        """
+        keep = {t.term_id for t in self._terms.values() if t.namespace == namespace}
+        if not keep:
+            raise OntologyError(f"no terms in namespace {namespace!r}")
+        terms = [
+            Term(
+                term_id=t.term_id,
+                name=t.name,
+                namespace=t.namespace,
+                parent_ids=tuple(p for p in t.parent_ids if p in keep),
+            )
+            for t in self._terms.values()
+            if t.term_id in keep
+        ]
+        return Ontology(terms)
+
+    def namespaces(self) -> List[str]:
+        """Distinct namespaces present, sorted."""
+        return sorted({t.namespace for t in self._terms.values()})
+
+    # -- traversal helpers -------------------------------------------------------
+
+    def walk_breadth_first(self, start: Optional[str] = None) -> Iterator[str]:
+        """Yield term ids breadth-first from ``start`` (or all roots)."""
+        starts: Sequence[str] = [start] if start is not None else self.roots
+        seen: Set[str] = set()
+        queue = deque(starts)
+        while queue:
+            current = queue.popleft()
+            if current in seen:
+                continue
+            self.term(current)
+            seen.add(current)
+            yield current
+            queue.extend(self._children[current])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Ontology({len(self)} terms, {len(self.roots)} roots, "
+            f"max_level={self.max_level})"
+        )

@@ -1,0 +1,45 @@
+"""The ontology term record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.text.tokenize import tokenize
+
+
+@dataclass(frozen=True)
+class Term:
+    """One ontology term (a *context* in the paper's vocabulary).
+
+    Attributes
+    ----------
+    term_id:
+        Stable identifier, e.g. ``GO:0003700`` or a synthetic ``T:000123``.
+    name:
+        Human-readable term name, e.g. ``"RNA polymerase II transcription
+        factor activity"``.  Its words seed pattern construction.
+    namespace:
+        Ontology namespace/aspect (e.g. ``biological_process``).  Synthetic
+        ontologies use a single namespace.
+    parent_ids:
+        ``is_a`` parents.  Empty for root terms.  Stored on the term so a
+        term list is self-describing; the :class:`~repro.ontology.Ontology`
+        builds the reverse (children) maps.
+    """
+
+    term_id: str
+    name: str
+    namespace: str = "biological_process"
+    parent_ids: Tuple[str, ...] = field(default_factory=tuple)
+
+    def name_words(self, lowercase: bool = True) -> Tuple[str, ...]:
+        """Tokenised term-name words (the pattern seeds of section 3.3).
+
+        >>> Term("GO:1", "DNA repair").name_words()
+        ('dna', 'repair')
+        """
+        return tuple(tokenize(self.name, lowercase=lowercase))
+
+    def __str__(self) -> str:
+        return f"{self.term_id} ({self.name})"

@@ -1,0 +1,336 @@
+"""End-to-end pipeline wiring: the one-stop user-facing API.
+
+:class:`Pipeline` bundles the whole pre-processing chain of the paper --
+index, vector store, the two context paper sets, the three prestige score
+functions, and per-paper-set search engines -- behind lazily computed,
+memoised properties.  Build one from your own data or call
+:func:`build_demo_pipeline` for a seeded synthetic dataset.
+
+Typical use::
+
+    pipeline = build_demo_pipeline(seed=7, n_papers=800)
+    hits = pipeline.search("dna repair kinase", limit=10)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.citations.graph import CitationGraph
+from repro.core.assignment import PatternContextAssigner, TextContextAssigner
+from repro.core.context import ContextPaperSet
+from repro.core.patterns import AnalyzedPaperCache
+from repro.core.scores import (
+    CitationPrestige,
+    HitsPrestige,
+    PatternPrestige,
+    PrestigeScores,
+    TextPrestige,
+)
+from repro.core.search import ContextSearchEngine, SearchHit
+from repro.core.vectors import PaperVectorStore
+from repro.corpus.corpus import Corpus
+from repro.datagen.corpus_gen import CorpusGenerator, GeneratedDataset
+from repro.datagen.ontology_gen import OntologyGenerator
+from repro.index.inverted import InvertedIndex
+from repro.index.search import KeywordSearchEngine
+from repro.ontology.ontology import Ontology
+
+
+class Pipeline:
+    """Lazily-built artefact graph over one corpus + ontology + training map.
+
+    Parameters
+    ----------
+    corpus / ontology / training_papers:
+        The raw inputs (training papers are the per-term annotation
+        evidence driving representatives and patterns).
+    text_similarity_threshold:
+        Membership bar for the text-based context paper set.
+    min_context_size:
+        Contexts smaller than this are dropped from the *experiment* view
+        (the paper excludes small contexts); search still uses all.
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        ontology: Ontology,
+        training_papers: Mapping[str, Sequence[str]],
+        text_similarity_threshold: float = 0.10,
+        min_context_size: int = 5,
+        w_prestige: float = 0.7,
+        w_matching: float = 0.3,
+    ) -> None:
+        self.corpus = corpus
+        self.ontology = ontology
+        self.training_papers = {k: list(v) for k, v in training_papers.items()}
+        self.text_similarity_threshold = text_similarity_threshold
+        self.min_context_size = min_context_size
+        self.w_prestige = w_prestige
+        self.w_matching = w_matching
+        self._index: Optional[InvertedIndex] = None
+        self._vectors: Optional[PaperVectorStore] = None
+        self._tokens: Optional[AnalyzedPaperCache] = None
+        self._graph: Optional[CitationGraph] = None
+        self._keyword_engine: Optional[KeywordSearchEngine] = None
+        self._text_assigner: Optional[TextContextAssigner] = None
+        self._pattern_assigner: Optional[PatternContextAssigner] = None
+        self._text_paper_set: Optional[ContextPaperSet] = None
+        self._pattern_paper_set: Optional[ContextPaperSet] = None
+        self._scores: Dict[str, PrestigeScores] = {}
+
+    @classmethod
+    def from_dataset(cls, dataset: GeneratedDataset, **kwargs) -> "Pipeline":
+        """Build from a :class:`GeneratedDataset` (synthetic testbed)."""
+        return cls(
+            corpus=dataset.corpus,
+            ontology=dataset.ontology,
+            training_papers=dataset.training_papers,
+            **kwargs,
+        )
+
+    @classmethod
+    def from_directory(cls, data_dir, **kwargs) -> "Pipeline":
+        """Build from a data directory using the standard file layout.
+
+        Expects ``corpus.jsonl`` (one Paper per line), ``ontology.obo``,
+        and ``training.json`` (``{term_id: [paper_id, ...]}``) -- the
+        layout ``repro generate`` writes and the layout to use for real
+        data.  Raises ``FileNotFoundError`` naming the first missing file.
+        """
+        import json
+        from pathlib import Path
+
+        from repro.corpus.io import read_corpus_jsonl
+        from repro.ontology.obo import read_obo
+
+        data = Path(data_dir)
+        for name in ("corpus.jsonl", "ontology.obo", "training.json"):
+            if not (data / name).exists():
+                raise FileNotFoundError(
+                    f"{data / name} not found (run `repro generate` or place "
+                    f"your own data there)"
+                )
+        corpus = read_corpus_jsonl(data / "corpus.jsonl")
+        ontology = read_obo(data / "ontology.obo")
+        with open(data / "training.json", "r", encoding="utf-8") as handle:
+            training = json.load(handle)
+        return cls(
+            corpus=corpus, ontology=ontology, training_papers=training, **kwargs
+        )
+
+    # -- shared substrates ----------------------------------------------------------
+
+    @property
+    def index(self) -> InvertedIndex:
+        if self._index is None:
+            self._index = InvertedIndex().index_corpus(self.corpus)
+        return self._index
+
+    @property
+    def vectors(self) -> PaperVectorStore:
+        if self._vectors is None:
+            self._vectors = PaperVectorStore(self.corpus, self.index.analyzer)
+        return self._vectors
+
+    @property
+    def tokens(self) -> AnalyzedPaperCache:
+        if self._tokens is None:
+            self._tokens = AnalyzedPaperCache(self.corpus, self.index.analyzer)
+        return self._tokens
+
+    @property
+    def citation_graph(self) -> CitationGraph:
+        if self._graph is None:
+            self._graph = CitationGraph.from_corpus(self.corpus)
+        return self._graph
+
+    @property
+    def keyword_engine(self) -> KeywordSearchEngine:
+        """The PubMed-style baseline search engine."""
+        if self._keyword_engine is None:
+            self._keyword_engine = KeywordSearchEngine(self.index)
+        return self._keyword_engine
+
+    # -- context paper sets -----------------------------------------------------------
+
+    @property
+    def text_paper_set(self) -> ContextPaperSet:
+        """The text-based context paper set (section 4, first builder)."""
+        if self._text_paper_set is None:
+            self._text_assigner = TextContextAssigner(
+                self.corpus,
+                self.ontology,
+                self.vectors,
+                self.index,
+                similarity_threshold=self.text_similarity_threshold,
+            )
+            self._text_paper_set = self._text_assigner.build(self.training_papers)
+        return self._text_paper_set
+
+    @property
+    def representatives(self) -> Dict[str, str]:
+        """Representative paper per context of the text paper set.
+
+        When the paper set was loaded from a precomputed artefact (no
+        assigner ran), representatives are re-derived from the stored
+        training papers -- the selection is deterministic, so this
+        reproduces the original choice.
+        """
+        paper_set = self.text_paper_set
+        if self._text_assigner is not None:
+            return dict(self._text_assigner.representatives)
+        from repro.core.representative import select_representatives
+
+        return select_representatives(self.vectors, paper_set)
+
+    @property
+    def pattern_paper_set(self) -> ContextPaperSet:
+        """The pattern-based context paper set (section 4, second builder)."""
+        if self._pattern_paper_set is None:
+            self._pattern_assigner = PatternContextAssigner(
+                self.corpus, self.ontology, self.index, token_cache=self.tokens
+            )
+            self._pattern_paper_set = self._pattern_assigner.build(
+                self.training_papers
+            )
+        return self._pattern_paper_set
+
+    @property
+    def pattern_assigner(self) -> PatternContextAssigner:
+        _ = self.pattern_paper_set
+        assert self._pattern_assigner is not None
+        return self._pattern_assigner
+
+    # -- precomputed artefacts ------------------------------------------------------------
+
+    def load_precomputed(self, data_dir) -> int:
+        """Load artefacts written by ``repro precompute`` from ``data_dir``.
+
+        Any ``text_paper_set.json`` / ``pattern_paper_set.json`` /
+        ``scores_<function>_<set>.json`` found is installed into the
+        pipeline's caches, short-circuiting the expensive builds.  Returns
+        the number of artefacts loaded.  Missing files are fine (you can
+        precompute a subset); corrupt files raise.
+        """
+        from pathlib import Path
+
+        from repro.core.io import read_context_paper_set, read_prestige_scores
+
+        data = Path(data_dir)
+        loaded = 0
+        text_set = data / "text_paper_set.json"
+        if text_set.exists():
+            self._text_paper_set = read_context_paper_set(text_set, self.ontology)
+            loaded += 1
+        pattern_set = data / "pattern_paper_set.json"
+        if pattern_set.exists():
+            self._pattern_paper_set = read_context_paper_set(
+                pattern_set, self.ontology
+            )
+            loaded += 1
+        for scores_path in sorted(data.glob("scores_*_*.json")):
+            stem_parts = scores_path.stem.split("_")  # scores, function, set
+            if len(stem_parts) != 3:
+                continue
+            _, function, paper_set_name = stem_parts
+            self._scores[f"{function}/{paper_set_name}"] = read_prestige_scores(
+                scores_path
+            )
+            loaded += 1
+        return loaded
+
+    # -- prestige scores ------------------------------------------------------------------
+
+    def prestige(self, function: str, paper_set_name: str = "text") -> PrestigeScores:
+        """Memoised prestige scores.
+
+        ``function`` in {"citation", "text", "pattern", "hits"};
+        ``paper_set_name`` in {"text", "pattern"} selects the context
+        paper set, matching section 4's two experiment arms ("hits" is the
+        section-3.1 alternative the paper mentions but does not adopt).
+        """
+        key = f"{function}/{paper_set_name}"
+        if key in self._scores:
+            return self._scores[key]
+        paper_set = (
+            self.text_paper_set if paper_set_name == "text" else self.pattern_paper_set
+        )
+        if function == "citation":
+            scorer = CitationPrestige(self.citation_graph)
+        elif function == "hits":
+            scorer = HitsPrestige(self.citation_graph)
+        elif function == "text":
+            scorer = TextPrestige(
+                self.corpus,
+                self.vectors,
+                self.citation_graph,
+                self.representatives,
+            )
+        elif function == "pattern":
+            scorer = PatternPrestige(
+                self.pattern_assigner.pattern_sets,
+                self.tokens,
+                middle_only=True,
+            )
+        else:
+            raise ValueError(f"unknown prestige function {function!r}")
+        scores = scorer.score_all(paper_set)
+        self._scores[key] = scores
+        return scores
+
+    # -- search ------------------------------------------------------------------------
+
+    def search_engine(
+        self, function: str = "text", paper_set_name: str = "text"
+    ) -> ContextSearchEngine:
+        """A context search engine over the chosen paper set + prestige."""
+        paper_set = (
+            self.text_paper_set if paper_set_name == "text" else self.pattern_paper_set
+        )
+        return ContextSearchEngine(
+            self.ontology,
+            paper_set,
+            self.prestige(function, paper_set_name),
+            self.keyword_engine,
+            w_prestige=self.w_prestige,
+            w_matching=self.w_matching,
+        )
+
+    def search(
+        self,
+        query: str,
+        function: str = "text",
+        paper_set_name: str = "text",
+        limit: Optional[int] = 10,
+        threshold: float = 0.0,
+    ) -> List[SearchHit]:
+        """One-call context-based search with sensible defaults."""
+        engine = self.search_engine(function, paper_set_name)
+        return engine.search(query, threshold=threshold, limit=limit)
+
+    # -- experiment views ----------------------------------------------------------------
+
+    def experiment_paper_set(self, paper_set_name: str = "text") -> ContextPaperSet:
+        """The paper set with small contexts excluded (experiment view)."""
+        paper_set = (
+            self.text_paper_set if paper_set_name == "text" else self.pattern_paper_set
+        )
+        return paper_set.filter_small(self.min_context_size)
+
+
+def build_demo_pipeline(
+    seed: int = 0,
+    n_papers: int = 800,
+    n_terms: int = 120,
+    max_depth: int = 6,
+    **pipeline_kwargs,
+) -> Pipeline:
+    """Generate a seeded synthetic dataset and wrap it in a Pipeline."""
+    generator = CorpusGenerator(
+        n_papers=n_papers,
+        ontology_generator=OntologyGenerator(n_terms=n_terms, max_depth=max_depth),
+    )
+    dataset = generator.generate(seed=seed)
+    return Pipeline.from_dataset(dataset, **pipeline_kwargs)

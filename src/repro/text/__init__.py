@@ -1,0 +1,52 @@
+"""Text-processing substrate: tokenisation, stemming, TF-IDF, similarity.
+
+Everything the paper's scoring functions need from classic IR:
+
+- :mod:`repro.text.tokenize` -- word/sentence tokenisation and n-grams.
+- :mod:`repro.text.stopwords` -- English stopword list used throughout.
+- :mod:`repro.text.stem` -- a full Porter stemmer implementation.
+- :mod:`repro.text.analyze` -- the composed analysis pipeline
+  (tokenise -> lowercase -> stopword filter -> stem).
+- :mod:`repro.text.vocabulary` -- term <-> id mapping with document
+  frequencies.
+- :mod:`repro.text.vectorize` -- sparse vectors and the TF-IDF model of
+  Salton's *Automatic Text Processing* (paper reference [6]).
+- :mod:`repro.text.similarity` -- cosine, Jaccard, Dice, overlap.
+- :mod:`repro.text.phrases` -- apriori-style frequent phrase mining
+  (paper reference [5]) used by pattern construction.
+"""
+
+from repro.text.analyze import Analyzer, default_analyzer
+from repro.text.phrases import FrequentPhraseMiner, Phrase
+from repro.text.similarity import (
+    cosine_similarity,
+    dice_coefficient,
+    jaccard_similarity,
+    overlap_coefficient,
+)
+from repro.text.stem import PorterStemmer, stem
+from repro.text.stopwords import STOPWORDS, is_stopword
+from repro.text.tokenize import ngrams, sentences, tokenize
+from repro.text.vectorize import SparseVector, TfidfModel
+from repro.text.vocabulary import Vocabulary
+
+__all__ = [
+    "Analyzer",
+    "default_analyzer",
+    "FrequentPhraseMiner",
+    "Phrase",
+    "cosine_similarity",
+    "jaccard_similarity",
+    "dice_coefficient",
+    "overlap_coefficient",
+    "PorterStemmer",
+    "stem",
+    "STOPWORDS",
+    "is_stopword",
+    "tokenize",
+    "sentences",
+    "ngrams",
+    "SparseVector",
+    "TfidfModel",
+    "Vocabulary",
+]

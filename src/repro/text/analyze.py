@@ -1,0 +1,103 @@
+"""The composed text-analysis pipeline used throughout the system.
+
+Every component that turns raw text into index/vector terms (the inverted
+index, TF-IDF vectors, pattern mining, AC-answer construction) goes through
+one :class:`Analyzer` so stemming and stopword decisions stay consistent
+across the whole pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional
+
+from repro.text.stem import PorterStemmer
+from repro.text.stopwords import STOPWORDS
+from repro.text.tokenize import tokenize
+
+
+class Analyzer:
+    """Tokenise, lowercase, drop stopwords, and (optionally) stem.
+
+    Parameters
+    ----------
+    stopwords:
+        Set of lowercase words to drop.  Pass ``frozenset()`` to keep all.
+    stem:
+        If True (default), apply the Porter stemmer to surviving tokens.
+    min_token_length:
+        Tokens shorter than this are dropped *after* stemming.  Single
+        characters are almost always noise in scientific text; gene symbols
+        of length >= 2 survive.
+    """
+
+    def __init__(
+        self,
+        stopwords: Optional[FrozenSet[str]] = None,
+        stem: bool = True,
+        min_token_length: int = 2,
+    ) -> None:
+        self.stopwords = STOPWORDS if stopwords is None else stopwords
+        self.stem_enabled = stem
+        self.min_token_length = min_token_length
+        self._stemmer = PorterStemmer()
+        # Memoise stems: corpus analysis hits the same words millions of
+        # times and the stemmer is the hot path.
+        self._stem_cache: dict = {}
+
+    def analyze(self, text: str) -> List[str]:
+        """Return the analysis terms of ``text`` in document order.
+
+        >>> Analyzer().analyze("The binding of transcription factors")
+        ['bind', 'transcript', 'factor']
+        """
+        terms = []
+        for token in tokenize(text):
+            if token in self.stopwords:
+                continue
+            if self.stem_enabled:
+                term = self._stem_cached(token)
+            else:
+                term = token
+            if len(term) >= self.min_token_length:
+                terms.append(term)
+        return terms
+
+    def analyze_tokens(self, tokens: List[str]) -> List[str]:
+        """Analyse pre-tokenised, lowercased ``tokens`` (no re-tokenising)."""
+        terms = []
+        for token in tokens:
+            if token in self.stopwords:
+                continue
+            term = self._stem_cached(token) if self.stem_enabled else token
+            if len(term) >= self.min_token_length:
+                terms.append(term)
+        return terms
+
+    def _stem_cached(self, token: str) -> str:
+        cached = self._stem_cache.get(token)
+        if cached is None:
+            cached = self._stemmer.stem(token)
+            self._stem_cache[token] = cached
+        return cached
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Analyzer(stem={self.stem_enabled}, "
+            f"min_token_length={self.min_token_length}, "
+            f"n_stopwords={len(self.stopwords)})"
+        )
+
+
+_DEFAULT: Optional[Analyzer] = None
+
+
+def default_analyzer() -> Analyzer:
+    """Return the process-wide shared :class:`Analyzer`.
+
+    Sharing one instance shares the stem cache, which matters when several
+    components (index, vectoriser, pattern miner) analyse the same corpus.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = Analyzer()
+    return _DEFAULT

@@ -1,0 +1,134 @@
+"""Apriori-style frequent phrase mining.
+
+Pattern construction (paper section 3.3) derives *significant terms* for a
+context from (i) the words of the context term itself and (ii) frequent
+terms/phrases in the context's training papers, "combined using a procedure
+similar to the apriori algorithm" (reference [5], Agrawal & Srikant, VLDB
+1994).
+
+This module implements the level-wise flavour of that idea for *contiguous*
+phrases: frequent phrases of length n are grown only from frequent phrases
+of length n-1 (the anti-monotone pruning step of apriori), with support
+counted as the number of training documents containing the phrase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.text.tokenize import ngrams
+
+
+@dataclass(frozen=True, order=True)
+class Phrase:
+    """A frequent phrase with its document support.
+
+    Attributes
+    ----------
+    words:
+        The phrase tokens, in order.
+    support:
+        Number of training documents containing the phrase.
+    support_ratio:
+        ``support`` divided by number of training documents.
+    """
+
+    words: Tuple[str, ...]
+    support: int = field(compare=False)
+    support_ratio: float = field(compare=False)
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    def text(self) -> str:
+        """Space-joined phrase string."""
+        return " ".join(self.words)
+
+
+class FrequentPhraseMiner:
+    """Mine frequent contiguous phrases from tokenised documents.
+
+    Parameters
+    ----------
+    min_support:
+        Minimum number of documents a phrase must appear in.  Values below 1
+        are rejected; pattern construction typically uses 2 so one-off noise
+        never seeds a pattern.
+    max_length:
+        Longest phrase length to mine.  Pattern middle tuples rarely exceed
+        4 words, matching GO term lengths.
+    """
+
+    def __init__(self, min_support: int = 2, max_length: int = 4) -> None:
+        if min_support < 1:
+            raise ValueError(f"min_support must be >= 1, got {min_support}")
+        if max_length < 1:
+            raise ValueError(f"max_length must be >= 1, got {max_length}")
+        self.min_support = min_support
+        self.max_length = max_length
+
+    def mine(self, documents: Sequence[Sequence[str]]) -> List[Phrase]:
+        """Return all frequent phrases, longest lengths last, ties by text.
+
+        ``documents`` are pre-analysed token sequences (one per training
+        paper).  Each document counts a phrase at most once (document
+        support, as in apriori over transaction sets).
+        """
+        n_documents = len(documents)
+        if n_documents == 0:
+            return []
+        phrases: List[Phrase] = []
+        # Level 1: frequent single tokens.
+        frequent_previous = self._count_level(documents, 1, allowed_prefixes=None)
+        phrases.extend(self._to_phrases(frequent_previous, n_documents))
+        for length in range(2, self.max_length + 1):
+            if not frequent_previous:
+                break
+            # Apriori pruning: a phrase of length n can only be frequent if
+            # both its (n-1)-prefix and (n-1)-suffix are frequent.
+            allowed = set(frequent_previous)
+            counts = self._count_level(documents, length, allowed_prefixes=allowed)
+            frequent_previous = counts
+            phrases.extend(self._to_phrases(counts, n_documents))
+        phrases.sort(key=lambda p: (len(p.words), p.words))
+        return phrases
+
+    def _count_level(
+        self,
+        documents: Sequence[Sequence[str]],
+        length: int,
+        allowed_prefixes: "Set[Tuple[str, ...]] | None",
+    ) -> Dict[Tuple[str, ...], int]:
+        """Count document support of length-``length`` n-grams.
+
+        When ``allowed_prefixes`` is given, candidates whose (n-1)-prefix or
+        (n-1)-suffix is not frequent are pruned before counting -- the
+        apriori anti-monotonicity step.
+        """
+        counts: Dict[Tuple[str, ...], int] = {}
+        for tokens in documents:
+            seen: Set[Tuple[str, ...]] = set()
+            for gram in ngrams(list(tokens), length):
+                if gram in seen:
+                    continue
+                if allowed_prefixes is not None:
+                    if gram[:-1] not in allowed_prefixes:
+                        continue
+                    if gram[1:] not in allowed_prefixes:
+                        continue
+                seen.add(gram)
+                counts[gram] = counts.get(gram, 0) + 1
+        return {
+            gram: support
+            for gram, support in counts.items()
+            if support >= self.min_support
+        }
+
+    def _to_phrases(
+        self, counts: Dict[Tuple[str, ...], int], n_documents: int
+    ) -> List[Phrase]:
+        return [
+            Phrase(words=gram, support=support, support_ratio=support / n_documents)
+            for gram, support in counts.items()
+        ]

@@ -1,0 +1,226 @@
+"""The Porter stemming algorithm.
+
+A faithful implementation of M. F. Porter, *An algorithm for suffix
+stripping*, Program 14(3) 1980 -- the stemmer behind the TF-IDF model of
+Salton's *Automatic Text Processing* (paper reference [6]).
+
+The five-step structure and all condition predicates (measure ``m``,
+``*v*``, ``*d``, ``*o`` ...) follow the published description.  Words of
+length <= 2 are returned unchanged, as in the reference implementation.
+"""
+
+from __future__ import annotations
+
+_VOWELS = frozenset("aeiou")
+
+
+class PorterStemmer:
+    """Stateless Porter stemmer; use the module-level :func:`stem` shortcut.
+
+    >>> PorterStemmer().stem("relational")
+    'relat'
+    >>> PorterStemmer().stem("caresses")
+    'caress'
+    """
+
+    def stem(self, word: str) -> str:
+        """Return the Porter stem of ``word`` (lowercased first)."""
+        word = word.lower()
+        if len(word) <= 2 or not word.isalpha():
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._step2(word)
+        word = self._step3(word)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word
+
+    # -- character classification -------------------------------------------
+
+    def _is_consonant(self, word: str, i: int) -> bool:
+        char = word[i]
+        if char in _VOWELS:
+            return False
+        if char == "y":
+            return i == 0 or not self._is_consonant(word, i - 1)
+        return True
+
+    def _measure(self, stem: str) -> int:
+        """Porter's measure m: the number of VC sequences in the stem."""
+        m = 0
+        previous_was_vowel = False
+        for i in range(len(stem)):
+            consonant = self._is_consonant(stem, i)
+            if consonant and previous_was_vowel:
+                m += 1
+            previous_was_vowel = not consonant
+        return m
+
+    def _contains_vowel(self, stem: str) -> bool:
+        return any(not self._is_consonant(stem, i) for i in range(len(stem)))
+
+    def _ends_double_consonant(self, word: str) -> bool:
+        return (
+            len(word) >= 2
+            and word[-1] == word[-2]
+            and self._is_consonant(word, len(word) - 1)
+        )
+
+    def _ends_cvc(self, word: str) -> bool:
+        """*o: stem ends consonant-vowel-consonant, final not w, x or y."""
+        if len(word) < 3:
+            return False
+        return (
+            self._is_consonant(word, len(word) - 3)
+            and not self._is_consonant(word, len(word) - 2)
+            and self._is_consonant(word, len(word) - 1)
+            and word[-1] not in "wxy"
+        )
+
+    # -- suffix replacement helper ------------------------------------------
+
+    def _replace(self, word: str, suffix: str, replacement: str, m_min: int) -> str:
+        """Replace ``suffix`` with ``replacement`` if measure(stem) > m_min.
+
+        Returns the (possibly unchanged) word.  Callers must already have
+        checked that the word ends with ``suffix``.
+        """
+        stem = word[: len(word) - len(suffix)]
+        if self._measure(stem) > m_min:
+            return stem + replacement
+        return word
+
+    # -- the five steps ------------------------------------------------------
+
+    def _step1a(self, word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    def _step1b(self, word: str) -> str:
+        if word.endswith("eed"):
+            stem = word[:-3]
+            if self._measure(stem) > 0:
+                return word[:-1]
+            return word
+        applied = False
+        if word.endswith("ed") and self._contains_vowel(word[:-2]):
+            word = word[:-2]
+            applied = True
+        elif word.endswith("ing") and self._contains_vowel(word[:-3]):
+            word = word[:-3]
+            applied = True
+        if applied:
+            if word.endswith(("at", "bl", "iz")):
+                return word + "e"
+            if self._ends_double_consonant(word) and word[-1] not in "lsz":
+                return word[:-1]
+            if self._measure(word) == 1 and self._ends_cvc(word):
+                return word + "e"
+        return word
+
+    def _step1c(self, word: str) -> str:
+        if word.endswith("y") and self._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2_RULES = (
+        ("ational", "ate"),
+        ("tional", "tion"),
+        ("enci", "ence"),
+        ("anci", "ance"),
+        ("izer", "ize"),
+        ("abli", "able"),
+        ("alli", "al"),
+        ("entli", "ent"),
+        ("eli", "e"),
+        ("ousli", "ous"),
+        ("ization", "ize"),
+        ("ation", "ate"),
+        ("ator", "ate"),
+        ("alism", "al"),
+        ("iveness", "ive"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("aliti", "al"),
+        ("iviti", "ive"),
+        ("biliti", "ble"),
+    )
+
+    def _step2(self, word: str) -> str:
+        for suffix, replacement in self._STEP2_RULES:
+            if word.endswith(suffix):
+                return self._replace(word, suffix, replacement, 0)
+        return word
+
+    _STEP3_RULES = (
+        ("icate", "ic"),
+        ("ative", ""),
+        ("alize", "al"),
+        ("iciti", "ic"),
+        ("ical", "ic"),
+        ("ful", ""),
+        ("ness", ""),
+    )
+
+    def _step3(self, word: str) -> str:
+        for suffix, replacement in self._STEP3_RULES:
+            if word.endswith(suffix):
+                return self._replace(word, suffix, replacement, 0)
+        return word
+
+    _STEP4_SUFFIXES = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    )
+
+    def _step4(self, word: str) -> str:
+        for suffix in self._STEP4_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: len(word) - len(suffix)]
+                if self._measure(stem) > 1:
+                    return stem
+                return word
+        if word.endswith("ion"):
+            stem = word[:-3]
+            if stem and stem[-1] in "st" and self._measure(stem) > 1:
+                return stem
+        return word
+
+    def _step5a(self, word: str) -> str:
+        if word.endswith("e"):
+            stem = word[:-1]
+            m = self._measure(stem)
+            if m > 1 or (m == 1 and not self._ends_cvc(stem)):
+                return stem
+        return word
+
+    def _step5b(self, word: str) -> str:
+        if (
+            self._measure(word) > 1
+            and self._ends_double_consonant(word)
+            and word.endswith("l")
+        ):
+            return word[:-1]
+        return word
+
+
+_DEFAULT_STEMMER = PorterStemmer()
+
+
+def stem(word: str) -> str:
+    """Stem ``word`` with a shared :class:`PorterStemmer` instance.
+
+    >>> stem("generalizations")
+    'gener'
+    """
+    return _DEFAULT_STEMMER.stem(word)

@@ -1,0 +1,92 @@
+"""Word and sentence tokenisation.
+
+The corpus is plain ASCII-ish scientific text (titles, abstracts, bodies,
+index terms), so a compact regular-expression tokeniser is sufficient and
+keeps the whole pipeline dependency-free.  Tokens keep internal hyphens and
+apostrophes ("wild-type", "crick's") because biomedical vocabulary leans on
+hyphenated compounds; gene-style alphanumerics ("p53", "brca1") survive
+intact.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+_WORD_RE = re.compile(r"[A-Za-z0-9]+(?:[-'][A-Za-z0-9]+)*")
+
+_SENTENCE_RE = re.compile(
+    r"""
+    [^.!?]+            # sentence body: anything that is not a terminator
+    (?:[.!?]+|\Z)      # one or more terminators, or end of text
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str, lowercase: bool = True) -> List[str]:
+    """Split ``text`` into word tokens.
+
+    >>> tokenize("DNA-repair in p53 knock-out mice.")
+    ['dna-repair', 'in', 'p53', 'knock-out', 'mice']
+    """
+    if not text:
+        return []
+    tokens = _WORD_RE.findall(text)
+    if lowercase:
+        tokens = [token.lower() for token in tokens]
+    return tokens
+
+
+def sentences(text: str) -> List[str]:
+    """Split ``text`` into sentences on ``.``, ``!`` and ``?`` boundaries.
+
+    The splitter is intentionally simple: abbreviations are rare in the
+    synthetic corpus, and pattern mining only needs *local* word windows, so
+    occasional over-splitting is harmless.
+
+    >>> sentences("First point. Second point!  Third?")
+    ['First point.', 'Second point!', 'Third?']
+    """
+    if not text:
+        return []
+    found = [match.group().strip() for match in _SENTENCE_RE.finditer(text)]
+    return [sentence for sentence in found if sentence]
+
+
+def ngrams(tokens: Sequence[str], n: int) -> List[Tuple[str, ...]]:
+    """Return all contiguous ``n``-grams of ``tokens``.
+
+    >>> ngrams(["a", "b", "c"], 2)
+    [('a', 'b'), ('b', 'c')]
+    """
+    if n <= 0:
+        raise ValueError(f"n-gram size must be positive, got {n}")
+    if len(tokens) < n:
+        return []
+    return [tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)]
+
+
+def sliding_windows(
+    tokens: Sequence[str], size: int, step: int = 1
+) -> Iterator[Tuple[int, Sequence[str]]]:
+    """Yield ``(start, window)`` pairs of length-``size`` windows.
+
+    Used by pattern matching to scan paper sections with their left/right
+    surround.  The final shorter window is *not* emitted; callers that need
+    tail coverage should pad or lower ``size``.
+    """
+    if size <= 0:
+        raise ValueError(f"window size must be positive, got {size}")
+    if step <= 0:
+        raise ValueError(f"window step must be positive, got {step}")
+    for start in range(0, max(len(tokens) - size + 1, 0), step):
+        yield start, tokens[start : start + size]
+
+
+def token_counts(tokens: Iterable[str]) -> dict:
+    """Count occurrences of each token (a tiny convenience wrapper)."""
+    counts: dict = {}
+    for token in tokens:
+        counts[token] = counts.get(token, 0) + 1
+    return counts

@@ -1,0 +1,86 @@
+"""Vocabulary: term <-> integer id mapping with document frequencies.
+
+The vocabulary underpins the TF-IDF model and the inverted index.  Ids are
+dense and assigned in first-seen order, so vectors built against the same
+vocabulary are directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+class Vocabulary:
+    """A growable term dictionary with document-frequency bookkeeping."""
+
+    def __init__(self) -> None:
+        self._term_to_id: Dict[str, int] = {}
+        self._id_to_term: List[str] = []
+        self._doc_freq: List[int] = []
+        self._n_documents = 0
+
+    # -- construction ---------------------------------------------------------
+
+    def add_term(self, term: str) -> int:
+        """Intern ``term`` and return its id (existing id if already known)."""
+        term_id = self._term_to_id.get(term)
+        if term_id is None:
+            term_id = len(self._id_to_term)
+            self._term_to_id[term] = term_id
+            self._id_to_term.append(term)
+            self._doc_freq.append(0)
+        return term_id
+
+    def add_document(self, terms: Iterable[str]) -> List[int]:
+        """Register one document's terms; updates document frequencies.
+
+        Returns the term-id sequence of the document (with duplicates, in
+        order), which callers typically feed straight into vectorisation.
+        """
+        term_ids = [self.add_term(term) for term in terms]
+        for term_id in set(term_ids):
+            self._doc_freq[term_id] += 1
+        self._n_documents += 1
+        return term_ids
+
+    # -- lookup ---------------------------------------------------------------
+
+    def id_of(self, term: str) -> Optional[int]:
+        """Return the id of ``term`` or None if unknown."""
+        return self._term_to_id.get(term)
+
+    def term_of(self, term_id: int) -> str:
+        """Return the term string for ``term_id`` (raises on bad id)."""
+        return self._id_to_term[term_id]
+
+    def doc_freq(self, term: str) -> int:
+        """Number of registered documents containing ``term`` (0 if unknown)."""
+        term_id = self._term_to_id.get(term)
+        if term_id is None:
+            return 0
+        return self._doc_freq[term_id]
+
+    def doc_freq_by_id(self, term_id: int) -> int:
+        """Document frequency for a known term id."""
+        return self._doc_freq[term_id]
+
+    @property
+    def n_documents(self) -> int:
+        """Number of documents registered via :meth:`add_document`."""
+        return self._n_documents
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._term_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_term)
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        """Iterate ``(term, id)`` pairs."""
+        return iter(self._term_to_id.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Vocabulary({len(self)} terms, {self._n_documents} documents)"

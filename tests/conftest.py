@@ -1,0 +1,120 @@
+"""Shared fixtures: a tiny hand-crafted testbed and a small generated one.
+
+The hand-crafted corpus gives tests exact control over similarities,
+citations, and pattern matches; the generated dataset exercises realistic
+statistical structure.  Both are session-scoped -- building them is the
+expensive part of the suite.
+"""
+
+import pytest
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.paper import Paper
+from repro.datagen.corpus_gen import CorpusGenerator
+from repro.datagen.ontology_gen import OntologyGenerator
+from repro.ontology.ontology import Ontology
+from repro.ontology.term import Term
+
+
+@pytest.fixture(scope="session")
+def tiny_ontology():
+    """root -> {metabolism, signaling}; metabolism -> glucose."""
+    return Ontology(
+        [
+            Term("root", "biological process"),
+            Term("met", "metabolic process", parent_ids=("root",)),
+            Term("sig", "signaling process", parent_ids=("root",)),
+            Term("glu", "glucose metabolic process", parent_ids=("met",)),
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus():
+    """Six papers: three metabolic (two glucose), two signaling, one off-topic.
+
+    Citations: M1 <- M2 <- M3 within metabolism, S1 <- S2 in signaling,
+    and a cross-topic edge S2 -> M1.
+    """
+    return Corpus(
+        [
+            Paper(
+                paper_id="M1",
+                title="glucose metabolic process flux",
+                abstract="glucose metabolic process in yeast glycolysis pathway",
+                body="we measured glucose metabolic process rates and "
+                "glycolysis pathway flux in yeast cells under stress",
+                index_terms=("glucose", "metabolism"),
+                authors=("A. Alpha", "B. Beta"),
+                year=1995,
+            ),
+            Paper(
+                paper_id="M2",
+                title="metabolic process regulation by glucose sensing",
+                abstract="regulation of the metabolic process through glucose "
+                "sensing receptors",
+                body="metabolic process regulation depends on glucose sensing "
+                "and downstream glycolysis pathway components",
+                index_terms=("metabolism", "regulation"),
+                authors=("B. Beta", "C. Gamma"),
+                references=("M1",),
+                year=1999,
+            ),
+            Paper(
+                paper_id="M3",
+                title="survey of metabolic process studies",
+                abstract="a survey of metabolic process research directions",
+                body="this survey covers the metabolic process literature "
+                "including glycolysis and energy pathways",
+                index_terms=("metabolism", "survey"),
+                authors=("D. Delta",),
+                references=("M1", "M2"),
+                year=2003,
+            ),
+            Paper(
+                paper_id="S1",
+                title="signaling process cascades",
+                abstract="kinase cascades in the signaling process",
+                body="the signaling process uses kinase cascades and receptor "
+                "phosphorylation to transmit information",
+                index_terms=("signaling", "kinase"),
+                authors=("E. Epsilon", "F. Zeta"),
+                year=1996,
+            ),
+            Paper(
+                paper_id="S2",
+                title="receptor signaling process dynamics",
+                abstract="dynamics of receptor driven signaling process",
+                body="receptor dynamics shape the signaling process and kinase "
+                "activity over time",
+                index_terms=("signaling", "receptor"),
+                authors=("F. Zeta",),
+                references=("S1", "M1"),
+                year=2000,
+            ),
+            Paper(
+                paper_id="X1",
+                title="astronomy of distant quasars",
+                abstract="quasar luminosity surveys",
+                body="telescope observations of quasars and galactic nuclei",
+                index_terms=("astronomy",),
+                authors=("G. Eta",),
+                year=2001,
+            ),
+        ]
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_training():
+    return {"met": ["M1", "M2"], "sig": ["S1"], "glu": ["M1"]}
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A generated dataset big enough for statistical structure."""
+    generator = CorpusGenerator(
+        n_papers=300,
+        ontology_generator=OntologyGenerator(n_terms=60, max_depth=5),
+    )
+    return generator.generate(seed=17)

@@ -1,0 +1,102 @@
+"""Unit tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.eval.ascii_plot import ascii_bar_chart, ascii_histogram, ascii_line_chart
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        chart = ascii_bar_chart({"a": 1.0, "b": 0.5}, width=4)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 4
+        assert lines[1].count("█") == 2
+
+    def test_values_printed(self):
+        chart = ascii_bar_chart({"x": 0.25}, width=8)
+        assert "0.250" in chart
+
+    def test_labels_aligned(self):
+        chart = ascii_bar_chart({"a": 1.0, "longer": 1.0}, width=3)
+        lines = chart.splitlines()
+        assert lines[0].index("█") == lines[1].index("█")
+
+    def test_empty(self):
+        assert ascii_bar_chart({}) == "(no data)"
+
+    def test_zero_values_no_crash(self):
+        chart = ascii_bar_chart({"a": 0.0, "b": 0.0})
+        assert "a" in chart
+
+    def test_explicit_max(self):
+        chart = ascii_bar_chart({"a": 0.5}, width=4, max_value=1.0)
+        assert chart.count("█") == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart({"a": 1.0}, width=0)
+
+
+class TestLineChart:
+    def test_renders_markers_and_legend(self):
+        chart = ascii_line_chart(
+            {"text": [0.1, 0.5, 0.9], "citation": [0.9, 0.5, 0.1]},
+            x_labels=["t1", "t2", "t3"],
+        )
+        assert "o=text" in chart
+        assert "x=citation" in chart
+        assert "o" in chart and "x" in chart
+
+    @staticmethod
+    def grid_lines(chart):
+        """Chart rows above the x axis (excludes labels and legend)."""
+        lines = chart.splitlines()
+        axis_index = next(i for i, line in enumerate(lines) if "+--" in line)
+        return lines[:axis_index]
+
+    def test_higher_value_higher_row(self):
+        chart = ascii_line_chart({"s": [0.0, 1.0]}, x_labels=["lo", "hi"])
+        rows_with_marker = [
+            i for i, line in enumerate(self.grid_lines(chart)) if "o" in line
+        ]
+        # The 1.0 point sits on an earlier (higher) line than the 0.0 point.
+        assert len(rows_with_marker) == 2
+        assert rows_with_marker[0] < rows_with_marker[1]
+
+    def test_none_leaves_gap(self):
+        chart = ascii_line_chart({"s": [0.5, None, 0.5]}, x_labels=["a", "b", "c"])
+        grid = "\n".join(self.grid_lines(chart))
+        assert grid.count("o") == 2
+
+    def test_overlap_marker(self):
+        chart = ascii_line_chart(
+            {"one": [0.5], "two": [0.5]}, x_labels=["x"]
+        )
+        assert "&" in chart
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            ascii_line_chart({"s": [1.0]}, x_labels=["a", "b"])
+
+    def test_empty(self):
+        assert ascii_line_chart({}, x_labels=[]) == "(no data)"
+        assert ascii_line_chart({"s": [None]}, x_labels=["a"]) == "(no data)"
+
+    def test_height_validation(self):
+        with pytest.raises(ValueError):
+            ascii_line_chart({"s": [1.0]}, x_labels=["a"], height=1)
+
+    def test_x_labels_present(self):
+        chart = ascii_line_chart({"s": [0.3, 0.6]}, x_labels=["alpha", "beta"])
+        assert "alpha" in chart and "beta" in chart
+
+
+class TestHistogram:
+    def test_renders_percentages(self):
+        chart = ascii_histogram([(0, 60.0), (5, 40.0)], width=10)
+        assert "60.0%" in chart
+        assert "40.0%" in chart
+
+    def test_bin_edges_as_labels(self):
+        chart = ascii_histogram([(0, 50.0), (15, 50.0)])
+        assert "0" in chart and "15" in chart

@@ -1,0 +1,108 @@
+"""Unit tests for CitationGraph."""
+
+import pytest
+
+from repro.citations.graph import CitationGraph
+from repro.corpus.corpus import Corpus
+from repro.corpus.paper import Paper
+
+
+@pytest.fixture
+def graph():
+    """A -> B -> C, A -> C, D isolated."""
+    g = CitationGraph(edges=[("A", "B"), ("B", "C"), ("A", "C")])
+    g.add_node("D")
+    return g
+
+
+class TestConstruction:
+    def test_nodes_and_edges(self, graph):
+        assert set(graph.nodes()) == {"A", "B", "C", "D"}
+        assert set(graph.edges()) == {("A", "B"), ("B", "C"), ("A", "C")}
+        assert graph.n_edges == 3
+
+    def test_self_loop_ignored(self):
+        g = CitationGraph(edges=[("A", "A")])
+        assert g.n_edges == 0
+        assert "A" in g
+
+    def test_duplicate_edge_ignored(self):
+        g = CitationGraph(edges=[("A", "B"), ("A", "B")])
+        assert g.n_edges == 1
+
+    def test_from_corpus(self):
+        corpus = Corpus(
+            [
+                Paper(paper_id="P1", title="t", references=("P2", "GONE")),
+                Paper(paper_id="P2", title="t"),
+            ]
+        )
+        g = CitationGraph.from_corpus(corpus)
+        assert set(g.nodes()) == {"P1", "P2"}
+        assert list(g.edges()) == [("P1", "P2")]
+
+
+class TestDegrees:
+    def test_degrees(self, graph):
+        assert graph.out_degree("A") == 2
+        assert graph.in_degree("C") == 2
+        assert graph.out_degree("D") == 0
+        assert graph.in_degree("D") == 0
+
+    def test_neighbors(self, graph):
+        assert set(graph.out_neighbors("A")) == {"B", "C"}
+        assert set(graph.in_neighbors("C")) == {"A", "B"}
+
+    def test_unknown_node_neighbors_empty(self, graph):
+        assert graph.out_neighbors("ZZ") == []
+
+
+class TestDensity:
+    def test_density_value(self, graph):
+        # 3 edges over 4*3 ordered pairs.
+        assert graph.density() == pytest.approx(3 / 12)
+
+    def test_density_tiny_graph(self):
+        assert CitationGraph(nodes=["solo"]).density() == 0.0
+        assert CitationGraph().density() == 0.0
+
+
+class TestSubgraph:
+    def test_induced_edges_only(self, graph):
+        sub = graph.subgraph({"A", "B"})
+        assert set(sub.nodes()) == {"A", "B"}
+        assert list(sub.edges()) == [("A", "B")]
+
+    def test_unknown_ids_become_isolated(self, graph):
+        sub = graph.subgraph({"A", "NEW"})
+        assert set(sub.nodes()) == {"A", "NEW"}
+        assert sub.n_edges == 0
+
+    def test_empty_selection(self, graph):
+        sub = graph.subgraph(set())
+        assert len(sub) == 0
+
+
+class TestPathExpansion:
+    def test_zero_hops(self, graph):
+        assert graph.within_path_length({"A"}, 0) == {"A"}
+
+    def test_one_hop_undirected(self, graph):
+        assert graph.within_path_length({"B"}, 1) == {"A", "B", "C"}
+
+    def test_one_hop_directed(self, graph):
+        assert graph.within_path_length({"B"}, 1, directed=True) == {"B", "C"}
+
+    def test_two_hops(self):
+        g = CitationGraph(edges=[("A", "B"), ("B", "C"), ("C", "D")])
+        assert g.within_path_length({"A"}, 2) == {"A", "B", "C"}
+
+    def test_unknown_source_ignored(self, graph):
+        assert graph.within_path_length({"GHOST"}, 2) == set()
+
+    def test_negative_hops_rejected(self, graph):
+        with pytest.raises(ValueError):
+            graph.within_path_length({"A"}, -1)
+
+    def test_isolated_node(self, graph):
+        assert graph.within_path_length({"D"}, 3) == {"D"}

@@ -1,0 +1,196 @@
+"""Integration tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def data_dir(tmp_path_factory):
+    """A small generated dataset directory, shared by the CLI tests."""
+    directory = tmp_path_factory.mktemp("cli-data")
+    code = main(
+        [
+            "generate",
+            "--papers", "150",
+            "--terms", "40",
+            "--seed", "5",
+            "--out", str(directory),
+        ]
+    )
+    assert code == 0
+    return directory
+
+
+class TestGenerate:
+    def test_files_written(self, data_dir):
+        assert (data_dir / "corpus.jsonl").exists()
+        assert (data_dir / "ontology.obo").exists()
+        assert (data_dir / "training.json").exists()
+
+    def test_training_map_valid(self, data_dir):
+        with open(data_dir / "training.json", encoding="utf-8") as handle:
+            training = json.load(handle)
+        assert isinstance(training, dict)
+        assert any(papers for papers in training.values())
+
+    def test_preset_generation(self, tmp_path, capsys):
+        code = main(
+            ["generate", "--preset", "tiny", "--seed", "2",
+             "--out", str(tmp_path / "p")]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "wrote 200 papers, 40 terms" in output
+
+    def test_deterministic(self, tmp_path):
+        for out in ("a", "b"):
+            main(
+                [
+                    "generate", "--papers", "40", "--terms", "15",
+                    "--seed", "9", "--out", str(tmp_path / out),
+                ]
+            )
+        content_a = (tmp_path / "a" / "corpus.jsonl").read_text(encoding="utf-8")
+        content_b = (tmp_path / "b" / "corpus.jsonl").read_text(encoding="utf-8")
+        assert content_a == content_b
+
+
+class TestSearch:
+    def test_search_runs(self, data_dir, capsys):
+        # Derive a query that must hit: words from a term name.
+        obo_text = (data_dir / "ontology.obo").read_text(encoding="utf-8")
+        name_line = next(
+            line for line in obo_text.splitlines()
+            if line.startswith("name: ") and len(line.split()) > 3
+        )
+        query = " ".join(name_line.split()[1:3])
+        code = main(["search", "--data", str(data_dir), "--query", query])
+        output = capsys.readouterr().out
+        if code == 0:
+            assert "prestige=" in output
+        else:
+            assert "no results" in output
+
+    def test_missing_data_dir_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["search", "--data", str(tmp_path), "--query", "x"])
+
+
+class TestPrecompute:
+    def test_artifacts_written(self, data_dir):
+        code = main(["precompute", "--data", str(data_dir)])
+        assert code == 0
+        assert (data_dir / "text_paper_set.json").exists()
+        assert (data_dir / "pattern_paper_set.json").exists()
+        assert (data_dir / "scores_text_text.json").exists()
+        assert (data_dir / "scores_citation_pattern.json").exists()
+
+    def test_artifacts_load_back(self, data_dir):
+        from repro.core.io import read_prestige_scores
+
+        scores = read_prestige_scores(data_dir / "scores_text_text.json")
+        assert scores.function_name == "text"
+        assert len(scores) > 0
+
+
+class TestEvaluate:
+    def test_evaluate_runs(self, data_dir, capsys):
+        code = main(["evaluate", "--data", str(data_dir), "--queries", "4"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "precision[text]" in output
+        assert "separability[" in output
+
+
+class TestValidate:
+    def test_clean_generated_corpus_passes(self, data_dir, capsys):
+        code = main(["validate", "--data", str(data_dir)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "validated" in output
+
+    def test_dirty_corpus_fails(self, tmp_path, capsys):
+        (tmp_path / "corpus.jsonl").write_text(
+            '{"paper_id": "BAD", "title": ""}\n', encoding="utf-8"
+        )
+        code = main(["validate", "--data", str(tmp_path), "--verbose"])
+        assert code == 1
+        output = capsys.readouterr().out
+        assert "no-text" in output
+
+    def test_missing_corpus_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["validate", "--data", str(tmp_path)])
+
+
+class TestTune:
+    def test_tune_runs(self, data_dir, capsys):
+        code = main(["tune", "--data", str(data_dir), "--queries", "4"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "best: w_prestige=" in output
+        assert "F1=" in output
+
+
+class TestIngest:
+    def test_end_to_end(self, tmp_path, capsys):
+        medline = tmp_path / "export.xml"
+        medline.write_text(
+            """<?xml version="1.0"?>
+            <PubmedArticleSet>
+              <PubmedArticle><MedlineCitation><PMID>100</PMID>
+                <Article><ArticleTitle>metabolic process work</ArticleTitle>
+                <Abstract><AbstractText>metabolic process details</AbstractText></Abstract>
+                </Article></MedlineCitation></PubmedArticle>
+            </PubmedArticleSet>""",
+            encoding="utf-8",
+        )
+        obo = tmp_path / "go.obo"
+        obo.write_text(
+            "[Term]\nid: GO:0008150\nname: biological process\n\n"
+            "[Term]\nid: GO:0008152\nname: metabolic process\n"
+            "is_a: GO:0008150\n",
+            encoding="utf-8",
+        )
+        gaf = tmp_path / "goa.gaf"
+        gaf.write_text(
+            "!gaf-version: 2.2\n"
+            "DB\tID\tSYM\t\tGO:0008152\tPMID:100\tIDA\t\tP\t\t\tp\tt\td\ts\t\t\n"
+            "DB\tID\tSYM\t\tGO:9999999\tPMID:100\tIDA\t\tP\t\t\tp\tt\td\ts\t\t\n",
+            encoding="utf-8",
+        )
+        out = tmp_path / "data"
+        code = main(
+            [
+                "ingest",
+                "--medline", str(medline),
+                "--obo", str(obo),
+                "--gaf", str(gaf),
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert (out / "corpus.jsonl").exists()
+        with open(out / "training.json", encoding="utf-8") as handle:
+            training = json.load(handle)
+        # Unknown GO:9999999 dropped; known term kept with the PMID.
+        assert training == {"GO:0008152": ["PMID:100"]}
+        # The ingested directory loads into a pipeline and searches.
+        from repro.pipeline import Pipeline
+
+        pipeline = Pipeline.from_directory(out, min_context_size=1)
+        hits = pipeline.search("metabolic process")
+        assert [h.paper_id for h in hits] == ["PMID:100"]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

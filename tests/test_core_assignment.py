@@ -1,0 +1,136 @@
+"""Unit tests for the two context paper set builders."""
+
+import pytest
+
+from repro.core.assignment import PatternContextAssigner, TextContextAssigner
+from repro.core.vectors import PaperVectorStore
+from repro.index.inverted import InvertedIndex
+
+
+@pytest.fixture(scope="module")
+def index(request):
+    return InvertedIndex().index_corpus(request.getfixturevalue("tiny_corpus"))
+
+
+@pytest.fixture(scope="module")
+def vectors(request, index):
+    return PaperVectorStore(request.getfixturevalue("tiny_corpus"), index.analyzer)
+
+
+class TestTextContextAssigner:
+    @pytest.fixture(scope="class")
+    def paper_set(self, request, index, vectors):
+        assigner = TextContextAssigner(
+            request.getfixturevalue("tiny_corpus"),
+            request.getfixturevalue("tiny_ontology"),
+            vectors,
+            index,
+            similarity_threshold=0.15,
+        )
+        built = assigner.build(request.getfixturevalue("tiny_training"))
+        # stash the assigner for representative checks
+        request.cls._assigner = assigner
+        return built
+
+    def test_only_contexts_with_training(self, paper_set):
+        assert set(paper_set.context_ids()) == {"met", "sig", "glu"}
+
+    def test_training_papers_always_members(self, paper_set):
+        assert "M1" in paper_set.context("met")
+        assert "M2" in paper_set.context("met")
+        assert "S1" in paper_set.context("sig")
+
+    def test_topical_papers_join(self, paper_set):
+        # M3 is clearly metabolic and should clear a 0.15 bar.
+        assert "M3" in paper_set.context("met")
+
+    def test_off_topic_papers_excluded(self, paper_set):
+        assert "X1" not in paper_set.context("met")
+        assert "X1" not in paper_set.context("sig")
+
+    def test_representatives_recorded(self, paper_set):
+        reps = self._assigner.representatives
+        assert set(reps) == {"met", "sig", "glu"}
+        assert reps["glu"] == "M1"
+        assert reps["sig"] == "S1"
+
+    def test_high_threshold_shrinks_contexts(self, request, index, vectors):
+        strict = TextContextAssigner(
+            request.getfixturevalue("tiny_corpus"),
+            request.getfixturevalue("tiny_ontology"),
+            vectors,
+            index,
+            similarity_threshold=0.99,
+        )
+        built = strict.build(request.getfixturevalue("tiny_training"))
+        # Only training papers survive a near-exact threshold.
+        assert set(built.context("met").paper_ids) == {"M1", "M2"}
+
+
+class TestPatternContextAssigner:
+    @pytest.fixture(scope="class")
+    def assigner(self, request, index):
+        return PatternContextAssigner(
+            request.getfixturevalue("tiny_corpus"),
+            request.getfixturevalue("tiny_ontology"),
+            index,
+            max_middle_coverage=0.5,
+        )
+
+    @pytest.fixture(scope="class")
+    def paper_set(self, request, assigner):
+        return assigner.build(request.getfixturevalue("tiny_training"))
+
+    def test_pattern_sets_populated(self, assigner, paper_set):
+        assert "met" in assigner.pattern_sets
+        assert len(assigner.pattern_sets["met"]) > 0
+
+    def test_topical_matching(self, paper_set):
+        met = paper_set.context("met")
+        assert "M1" in met and "M2" in met
+        assert "X1" not in met
+
+    def test_descendant_rollup(self, paper_set):
+        # Papers matched by 'glu' must appear in ancestor 'met'.
+        glu = set(paper_set.context("glu").paper_ids)
+        met = set(paper_set.context("met").paper_ids)
+        if paper_set.context("glu").inherited_from is None:
+            assert glu <= met
+
+    def test_root_contains_everything_matched(self, paper_set):
+        if "root" in paper_set:
+            root = set(paper_set.context("root").paper_ids)
+            for context in paper_set:
+                if context.inherited_from is None:
+                    assert set(context.paper_ids) <= root
+
+    def test_ancestor_fallback_decay(self, request, index):
+        """A context with no training and no matches inherits with decay."""
+        assigner = PatternContextAssigner(
+            request.getfixturevalue("tiny_corpus"),
+            request.getfixturevalue("tiny_ontology"),
+            index,
+            max_middle_coverage=0.5,
+        )
+        # Only 'met' gets training; 'glu' (child of met) has none.
+        paper_set = assigner.build({"met": ["M1", "M2"]})
+        if "glu" in paper_set:
+            glu = paper_set.context("glu")
+            assert glu.inherited_from in {"met", "root"} or glu.inherited_from is None
+            if glu.inherited_from is not None:
+                assert 0.0 <= glu.decay <= 1.0
+                assert set(glu.paper_ids) == set(
+                    paper_set.context(glu.inherited_from).paper_ids
+                )
+
+    def test_coverage_cap_blocks_ubiquitous_middles(self, request, index):
+        strict = PatternContextAssigner(
+            request.getfixturevalue("tiny_corpus"),
+            request.getfixturevalue("tiny_ontology"),
+            index,
+            max_middle_coverage=0.01,  # nothing passes
+        )
+        paper_set = strict.build(request.getfixturevalue("tiny_training"))
+        # With no matches anywhere, fallback finds no non-empty ancestor
+        # either, so the set is empty.
+        assert len(paper_set) == 0

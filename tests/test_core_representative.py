@@ -1,0 +1,65 @@
+"""Unit tests for representative-paper selection."""
+
+import pytest
+
+from repro.core.context import Context, ContextPaperSet
+from repro.core.representative import select_representative, select_representatives
+from repro.core.vectors import PaperVectorStore
+
+
+@pytest.fixture(scope="module")
+def store(request):
+    return PaperVectorStore(request.getfixturevalue("tiny_corpus"))
+
+
+class TestSelectRepresentative:
+    def test_empty_candidates(self, store):
+        assert select_representative(store, []) is None
+
+    def test_single_candidate(self, store):
+        assert select_representative(store, ["M1"]) == "M1"
+
+    def test_picks_centroid_closest(self, store):
+        # Among the three metabolic papers, M2 shares vocabulary with both
+        # M1 (glucose) and M3 (survey phrasing is distinct), so the pick
+        # must be one of the truly central ones -- never the outlier X1.
+        chosen = select_representative(store, ["M1", "M2", "M3"])
+        assert chosen in {"M1", "M2", "M3"}
+        # Adding an off-topic paper does not make it representative.
+        chosen_with_outlier = select_representative(store, ["M1", "M2", "M3", "X1"])
+        assert chosen_with_outlier != "X1"
+
+    def test_duplicates_ignored(self, store):
+        assert select_representative(store, ["M1", "M1"]) == "M1"
+
+    def test_deterministic(self, store):
+        a = select_representative(store, ["M1", "M2", "M3"])
+        b = select_representative(store, ["M3", "M2", "M1"])
+        assert a == b
+
+
+class TestSelectRepresentatives:
+    def test_prefers_training_papers(self, store, tiny_ontology):
+        paper_set = ContextPaperSet(
+            tiny_ontology,
+            [
+                Context(
+                    "met",
+                    ("M1", "M2", "M3", "X1"),
+                    training_paper_ids=("M1",),
+                )
+            ],
+        )
+        reps = select_representatives(store, paper_set)
+        assert reps == {"met": "M1"}
+
+    def test_falls_back_to_members(self, store, tiny_ontology):
+        paper_set = ContextPaperSet(
+            tiny_ontology, [Context("sig", ("S1", "S2"))]
+        )
+        reps = select_representatives(store, paper_set)
+        assert reps["sig"] in {"S1", "S2"}
+
+    def test_contextless_contexts_omitted(self, store, tiny_ontology):
+        paper_set = ContextPaperSet(tiny_ontology, [Context("glu", ())])
+        assert select_representatives(store, paper_set) == {}

@@ -1,0 +1,158 @@
+"""Unit tests for the context-based search engine."""
+
+import pytest
+
+from repro.citations.graph import CitationGraph
+from repro.core.context import Context, ContextPaperSet
+from repro.core.scores import CitationPrestige, TextPrestige
+from repro.core.search import ContextSearchEngine
+from repro.core.vectors import PaperVectorStore
+from repro.index.inverted import InvertedIndex
+from repro.index.search import KeywordSearchEngine
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    corpus = request.getfixturevalue("tiny_corpus")
+    ontology = request.getfixturevalue("tiny_ontology")
+    index = InvertedIndex().index_corpus(corpus)
+    vectors = PaperVectorStore(corpus, index.analyzer)
+    graph = CitationGraph.from_corpus(corpus)
+    paper_set = ContextPaperSet(
+        ontology,
+        [
+            Context("met", ("M1", "M2", "M3")),
+            Context("sig", ("S1", "S2")),
+            Context("glu", ("M1", "M2")),
+        ],
+    )
+    prestige = TextPrestige(
+        corpus, vectors, graph, {"met": "M1", "sig": "S1", "glu": "M1"}
+    ).score_all(paper_set)
+    keyword = KeywordSearchEngine(index)
+    engine = ContextSearchEngine(ontology, paper_set, prestige, keyword)
+    return {
+        "engine": engine,
+        "paper_set": paper_set,
+        "keyword": keyword,
+        "ontology": ontology,
+        "prestige": prestige,
+    }
+
+
+class TestContextSelection:
+    def test_topical_context_selected_first(self, setup):
+        selections = setup["engine"].select_contexts("glucose metabolic glycolysis")
+        assert selections
+        assert selections[0].context_id in {"met", "glu"}
+
+    def test_off_topic_query_selects_nothing(self, setup):
+        assert setup["engine"].select_contexts("quasar telescope") == []
+
+    def test_max_contexts_respected(self, setup):
+        assert len(setup["engine"].select_contexts("process", max_contexts=1)) <= 1
+
+    def test_strengths_sorted_descending(self, setup):
+        selections = setup["engine"].select_contexts("metabolic glucose process")
+        strengths = [s.strength for s in selections]
+        assert strengths == sorted(strengths, reverse=True)
+
+
+class TestSearch:
+    def test_end_to_end(self, setup):
+        hits = setup["engine"].search("glucose metabolic")
+        assert hits
+        ids = [h.paper_id for h in hits]
+        assert "M1" in ids
+        assert "X1" not in ids
+
+    def test_relevancy_combines_prestige_and_matching(self, setup):
+        hits = setup["engine"].search("glucose metabolic")
+        for hit in hits:
+            expected = 0.5 * hit.prestige + 0.5 * hit.matching
+            assert hit.relevancy == pytest.approx(expected)
+
+    def test_sorted_by_relevancy(self, setup):
+        hits = setup["engine"].search("metabolic process")
+        values = [h.relevancy for h in hits]
+        assert values == sorted(values, reverse=True)
+
+    def test_merge_keeps_best_context(self, setup):
+        """M1 is in both met and glu; merged output lists it once."""
+        hits = setup["engine"].search("glucose metabolic", contexts=["met", "glu"])
+        ids = [h.paper_id for h in hits]
+        assert ids.count("M1") == 1
+
+    def test_threshold_filters(self, setup):
+        everything = setup["engine"].search("metabolic", contexts=["met"])
+        top = max(h.relevancy for h in everything)
+        strict = setup["engine"].search("metabolic", contexts=["met"], threshold=top)
+        assert all(h.relevancy >= top for h in strict)
+        assert len(strict) <= len(everything)
+
+    def test_limit(self, setup):
+        hits = setup["engine"].search("metabolic process", limit=1)
+        assert len(hits) == 1
+
+    def test_explicit_contexts_skip_selection(self, setup):
+        hits = setup["engine"].search("kinase receptor", contexts=["sig"])
+        assert {h.context_id for h in hits} == {"sig"}
+
+    def test_unknown_explicit_context_ignored(self, setup):
+        assert setup["engine"].search("kinase", contexts=["nope"]) == []
+
+    def test_no_text_match_no_hit(self, setup):
+        """Prestigious papers without any query-term match never surface."""
+        hits = setup["engine"].search("quasar", contexts=["met"])
+        assert hits == []
+
+    def test_result_ids_helper(self, setup):
+        ids = setup["engine"].result_ids("glucose metabolic")
+        assert ids == [h.paper_id for h in setup["engine"].search("glucose metabolic")]
+
+
+class TestWeights:
+    def test_prestige_only_ranking(self, setup):
+        engine = ContextSearchEngine(
+            setup["ontology"],
+            setup["paper_set"],
+            setup["prestige"],
+            setup["keyword"],
+            w_prestige=1.0,
+            w_matching=0.0,
+        )
+        hits = engine.search("metabolic", contexts=["met"])
+        for hit in hits:
+            assert hit.relevancy == pytest.approx(hit.prestige)
+
+    def test_matching_only_ranking(self, setup):
+        engine = ContextSearchEngine(
+            setup["ontology"],
+            setup["paper_set"],
+            setup["prestige"],
+            setup["keyword"],
+            w_prestige=0.0,
+            w_matching=1.0,
+        )
+        hits = engine.search("metabolic", contexts=["met"])
+        for hit in hits:
+            assert hit.relevancy == pytest.approx(hit.matching)
+
+    def test_invalid_weights(self, setup):
+        with pytest.raises(ValueError):
+            ContextSearchEngine(
+                setup["ontology"],
+                setup["paper_set"],
+                setup["prestige"],
+                setup["keyword"],
+                w_prestige=0.0,
+                w_matching=0.0,
+            )
+        with pytest.raises(ValueError):
+            ContextSearchEngine(
+                setup["ontology"],
+                setup["paper_set"],
+                setup["prestige"],
+                setup["keyword"],
+                w_prestige=-1.0,
+            )

@@ -1,0 +1,56 @@
+"""Unit tests for corpus JSONL persistence."""
+
+import pytest
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.io import read_corpus_jsonl, write_corpus_jsonl
+from repro.corpus.paper import Paper
+
+
+@pytest.fixture
+def corpus():
+    return Corpus(
+        [
+            Paper(
+                paper_id="P1",
+                title="Title one",
+                abstract="Abstract",
+                body="Body",
+                index_terms=("a", "b"),
+                authors=("X", "Y"),
+                references=("P2",),
+                year=2005,
+                true_context_ids=("GO:1",),
+            ),
+            Paper(paper_id="P2", title="Title two"),
+        ]
+    )
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_papers(self, corpus, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        count = write_corpus_jsonl(corpus, path)
+        assert count == 2
+        loaded = read_corpus_jsonl(path)
+        assert len(loaded) == 2
+        assert loaded.paper("P1") == corpus.paper("P1")
+        assert loaded.paper("P2") == corpus.paper("P2")
+
+    def test_blank_lines_skipped(self, corpus, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        write_corpus_jsonl(corpus, path)
+        content = path.read_text(encoding="utf-8")
+        path.write_text("\n" + content + "\n\n", encoding="utf-8")
+        assert len(read_corpus_jsonl(path)) == 2
+
+    def test_malformed_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"paper_id": "P1", "title": "t"}\n{broken\n', encoding="utf-8")
+        with pytest.raises(ValueError, match=":2:"):
+            read_corpus_jsonl(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        assert len(read_corpus_jsonl(path)) == 0

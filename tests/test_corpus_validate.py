@@ -1,0 +1,117 @@
+"""Unit tests for corpus validation."""
+
+import pytest
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.paper import Paper
+from repro.corpus.validate import validate_corpus
+
+
+def make_corpus(*papers):
+    return Corpus(papers)
+
+
+class TestValidateCorpus:
+    def test_clean_corpus_ok(self):
+        corpus = make_corpus(
+            Paper(
+                paper_id="A",
+                title="Fine paper",
+                abstract="With text",
+                authors=("X. Writer",),
+                year=2000,
+            ),
+            Paper(
+                paper_id="B",
+                title="Also fine",
+                abstract="Cites A",
+                authors=("Y. Writer",),
+                references=("A",),
+                year=2001,
+            ),
+        )
+        report = validate_corpus(corpus)
+        assert report.ok
+        assert report.n_papers == 2
+        assert report.findings == [] or all(
+            f.severity == "warning" for f in report.findings
+        )
+
+    def test_textless_paper_is_error(self):
+        report = validate_corpus(make_corpus(Paper(paper_id="E", title="")))
+        assert not report.ok
+        assert report.errors[0].code == "no-text"
+        assert report.errors[0].paper_id == "E"
+
+    def test_missing_title_warning(self):
+        report = validate_corpus(
+            make_corpus(Paper(paper_id="T", title="", abstract="has text"))
+        )
+        assert report.ok  # warning only
+        assert any(f.code == "no-title" for f in report.warnings)
+
+    def test_missing_authors_warning(self):
+        report = validate_corpus(make_corpus(Paper(paper_id="A", title="t")))
+        assert any(f.code == "no-authors" for f in report.warnings)
+
+    def test_duplicate_authors_warning(self):
+        report = validate_corpus(
+            make_corpus(
+                Paper(paper_id="D", title="t", authors=("Same", "Same"))
+            )
+        )
+        assert any(f.code == "duplicate-authors" for f in report.warnings)
+
+    def test_implausible_year_warning(self):
+        report = validate_corpus(
+            make_corpus(Paper(paper_id="Y", title="t", year=1492))
+        )
+        assert any(f.code == "implausible-year" for f in report.warnings)
+
+    def test_all_dangling_references_warning(self):
+        report = validate_corpus(
+            make_corpus(
+                Paper(paper_id="R", title="t", references=("GONE", "ALSO_GONE"))
+            )
+        )
+        assert any(f.code == "all-references-dangling" for f in report.warnings)
+        assert report.dangling_reference_ratio == pytest.approx(1.0)
+
+    def test_self_reference_warning(self):
+        report = validate_corpus(
+            make_corpus(Paper(paper_id="S", title="t", references=("S",)))
+        )
+        assert any(f.code == "self-reference" for f in report.warnings)
+
+    def test_dangling_ratio_partial(self):
+        corpus = make_corpus(
+            Paper(paper_id="A", title="a"),
+            Paper(paper_id="B", title="b", references=("A", "MISSING")),
+        )
+        report = validate_corpus(corpus)
+        assert report.dangling_reference_ratio == pytest.approx(0.5)
+
+    def test_by_code_counts(self):
+        corpus = make_corpus(
+            Paper(paper_id="1", title="t"),
+            Paper(paper_id="2", title="t"),
+        )
+        report = validate_corpus(corpus)
+        assert report.by_code().get("no-authors") == 2
+
+    def test_summary_renders(self):
+        report = validate_corpus(make_corpus(Paper(paper_id="X", title="")))
+        summary = report.summary()
+        assert "1 errors" in summary
+        assert "no-text" in summary
+
+    def test_empty_corpus(self):
+        report = validate_corpus(Corpus())
+        assert report.ok
+        assert report.n_papers == 0
+        assert report.dangling_reference_ratio == 0.0
+
+    def test_generated_corpus_is_clean(self, small_dataset):
+        report = validate_corpus(small_dataset.corpus)
+        assert report.ok
+        assert report.dangling_reference_ratio == 0.0

@@ -1,0 +1,78 @@
+"""Unit tests for synthetic ontology generation."""
+
+import pytest
+
+from repro.datagen.ontology_gen import OntologyGenerator
+
+
+class TestOntologyGenerator:
+    def test_term_count(self):
+        onto = OntologyGenerator(n_terms=100).generate(seed=1)
+        assert len(onto) == 100
+
+    def test_single_root(self):
+        onto = OntologyGenerator(n_terms=80).generate(seed=1)
+        assert onto.roots == ["T:000000"]
+        assert onto.term("T:000000").name == "biological process"
+
+    def test_max_depth_respected(self):
+        onto = OntologyGenerator(n_terms=300, max_depth=5).generate(seed=2)
+        assert onto.max_level <= 5
+
+    def test_deterministic(self):
+        gen = OntologyGenerator(n_terms=120)
+        a = gen.generate(seed=9)
+        b = gen.generate(seed=9)
+        assert a.term_ids() == b.term_ids()
+        assert [a.term(t).name for t in a.term_ids()] == [
+            b.term(t).name for t in b.term_ids()
+        ]
+
+    def test_seeds_differ(self):
+        gen = OntologyGenerator(n_terms=120)
+        names_a = {gen.generate(seed=1).term(t).name for t in gen.generate(seed=1).term_ids()}
+        names_b = {gen.generate(seed=2).term(t).name for t in gen.generate(seed=2).term_ids()}
+        assert names_a != names_b
+
+    def test_child_names_extend_parent_names(self):
+        onto = OntologyGenerator(n_terms=60).generate(seed=3)
+        for term in onto:
+            for parent_id in term.parent_ids[:1]:  # primary parent only
+                parent_name = onto.term(parent_id).name
+                assert term.name.endswith(parent_name)
+                assert len(term.name) > len(parent_name)
+
+    def test_sibling_names_distinct(self):
+        onto = OntologyGenerator(n_terms=150).generate(seed=4)
+        for term_id in onto.term_ids():
+            child_names = [onto.term(c).name for c in onto.children(term_id)]
+            assert len(child_names) == len(set(child_names))
+
+    def test_deeper_terms_have_longer_names(self):
+        onto = OntologyGenerator(n_terms=200, max_depth=6).generate(seed=5)
+        by_level = {}
+        for term_id in onto.term_ids():
+            level = onto.level(term_id)
+            by_level.setdefault(level, []).append(len(onto.term(term_id).name_words()))
+        means = {lv: sum(v) / len(v) for lv, v in by_level.items()}
+        levels = sorted(means)
+        assert means[levels[0]] < means[levels[-1]]
+
+    def test_some_terms_have_two_parents(self):
+        onto = OntologyGenerator(
+            n_terms=400, second_parent_probability=0.25
+        ).generate(seed=6)
+        multi = [t for t in onto if len(t.parent_ids) >= 2]
+        assert multi, "expected at least one DAG diamond"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OntologyGenerator(n_terms=0).generate()
+        with pytest.raises(ValueError):
+            OntologyGenerator(max_depth=0).generate()
+
+    def test_levels_populated_up_to_depth(self):
+        onto = OntologyGenerator(n_terms=300, max_depth=7).generate(seed=7)
+        # Growth is breadth-first-ish: at least levels 1..4 must exist.
+        for level in (1, 2, 3, 4):
+            assert onto.terms_at_level(level), f"no terms at level {level}"

@@ -1,0 +1,50 @@
+"""Unit tests for scale presets and builder logging."""
+
+import logging
+
+import pytest
+
+from repro.datagen.presets import PRESETS, get_preset
+
+
+class TestPresets:
+    def test_known_names(self):
+        assert {"tiny", "small", "default", "large", "paper"} <= set(PRESETS)
+
+    def test_get_preset(self):
+        assert get_preset("tiny").n_papers == 200
+
+    def test_unknown_preset_lists_options(self):
+        with pytest.raises(ValueError, match="tiny"):
+            get_preset("gigantic")
+
+    def test_scales_monotone(self):
+        order = ["tiny", "small", "default", "large", "paper"]
+        papers = [PRESETS[name].n_papers for name in order]
+        terms = [PRESETS[name].n_terms for name in order]
+        assert papers == sorted(papers)
+        assert terms == sorted(terms)
+
+    def test_tiny_preset_generates(self):
+        dataset = get_preset("tiny").generate(seed=2)
+        assert len(dataset.corpus) == 200
+        assert len(dataset.ontology) == 40
+
+    def test_generation_deterministic(self):
+        preset = get_preset("tiny")
+        a = preset.generate(seed=9)
+        b = preset.generate(seed=9)
+        assert [p.paper_id for p in a.corpus] == [p.paper_id for p in b.corpus]
+
+
+class TestBuilderLogging:
+    def test_assigners_log_summary(self, caplog, small_dataset):
+        from repro.pipeline import Pipeline
+
+        pipeline = Pipeline.from_dataset(small_dataset)
+        with caplog.at_level(logging.INFO, logger="repro.core.assignment"):
+            _ = pipeline.text_paper_set
+            _ = pipeline.pattern_paper_set
+        messages = [record.getMessage() for record in caplog.records]
+        assert any("text context paper set" in m for m in messages)
+        assert any("pattern context paper set" in m for m in messages)

@@ -1,0 +1,52 @@
+"""Unit tests for query workload generation."""
+
+import pytest
+
+from repro.datagen.corpus_gen import CorpusGenerator
+from repro.datagen.ontology_gen import OntologyGenerator
+from repro.datagen.queries import generate_queries
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return CorpusGenerator(
+        n_papers=100, ontology_generator=OntologyGenerator(n_terms=50)
+    ).generate(seed=3)
+
+
+class TestGenerateQueries:
+    def test_count(self, dataset):
+        assert len(generate_queries(dataset, n_queries=25, seed=1)) == 25
+
+    def test_queries_nonempty_multiword(self, dataset):
+        for workload in generate_queries(dataset, n_queries=40, seed=2):
+            words = workload.query.split()
+            assert 1 <= len(words) <= 4
+
+    def test_never_full_term_name(self, dataset):
+        for workload in generate_queries(dataset, n_queries=60, seed=3):
+            term = dataset.ontology.term(workload.source_term_id)
+            assert workload.query != term.name.lower()
+
+    def test_source_terms_at_min_level(self, dataset):
+        for workload in generate_queries(dataset, n_queries=40, seed=4, min_level=3):
+            assert dataset.ontology.level(workload.source_term_id) >= 3
+
+    def test_query_words_topical(self, dataset):
+        for workload in generate_queries(dataset, n_queries=30, seed=5):
+            term = dataset.ontology.term(workload.source_term_id)
+            topical = set(term.name_words()) | set(
+                dataset.topics.jargon_of(workload.source_term_id)
+            )
+            assert set(workload.query.split()) & topical
+
+    def test_deterministic(self, dataset):
+        a = generate_queries(dataset, n_queries=20, seed=9)
+        b = generate_queries(dataset, n_queries=20, seed=9)
+        assert a == b
+
+    def test_validation(self, dataset):
+        with pytest.raises(ValueError):
+            generate_queries(dataset, n_queries=0)
+        with pytest.raises(ValueError):
+            generate_queries(dataset, min_words=3, max_words=2)

@@ -1,0 +1,72 @@
+"""Direct unit tests for the topic model (TermTopic mechanics)."""
+
+import random
+
+import pytest
+
+from repro.datagen.lexicon import Lexicon
+from repro.datagen.ontology_gen import OntologyGenerator
+from repro.datagen.topics import TermTopic, TopicModel
+
+
+class TestTermTopic:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            TermTopic("t", chunks=[("a",)], weights=[1.0, 2.0], jargon=[])
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValueError, match="probability mass"):
+            TermTopic("t", chunks=[("a",)], weights=[0.0], jargon=[])
+
+    def test_sampling_respects_weights(self):
+        topic = TermTopic(
+            "t",
+            chunks=[("heavy",), ("light",)],
+            weights=[9.0, 1.0],
+            jargon=[],
+        )
+        rng = random.Random(0)
+        draws = [topic.sample_chunk(rng) for _ in range(2000)]
+        heavy_share = draws.count(("heavy",)) / len(draws)
+        assert 0.85 < heavy_share < 0.95
+
+    def test_single_chunk_always_sampled(self):
+        topic = TermTopic("t", chunks=[("only",)], weights=[1.0], jargon=[])
+        rng = random.Random(1)
+        assert all(topic.sample_chunk(rng) == ("only",) for _ in range(20))
+
+
+class TestTopicModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        rng = random.Random(5)
+        ontology = OntologyGenerator(n_terms=30, max_depth=4).generate(seed=5)
+        return ontology, TopicModel(ontology, Lexicon(rng), rng)
+
+    def test_len_matches_ontology(self, model):
+        ontology, topics = model
+        assert len(topics) == len(ontology)
+
+    def test_unknown_term_raises(self, model):
+        _, topics = model
+        with pytest.raises(KeyError):
+            topics.topic("T:999999")
+
+    def test_jargon_inherited_with_lower_weight(self, model):
+        """An ancestor's jargon appears in the child's chunks, but the
+        child's own jargon dominates by weight (checked via sampling)."""
+        ontology, topics = model
+        child = next(
+            tid for tid in ontology.term_ids() if ontology.level(tid) == 3
+        )
+        parent = ontology.parents(child)[0]
+        child_topic = topics.topic(child)
+        parent_jargon = set(topics.jargon_of(parent))
+        own_jargon = set(topics.jargon_of(child))
+        flat_chunks = {w for chunk in child_topic.chunks for w in chunk}
+        assert parent_jargon & flat_chunks, "ancestor vocabulary must leak in"
+        rng = random.Random(2)
+        draws = [child_topic.sample_chunk(rng) for _ in range(3000)]
+        own_hits = sum(1 for c in draws for w in c if w in own_jargon)
+        parent_hits = sum(1 for c in draws for w in c if w in parent_jargon)
+        assert own_hits > parent_hits

@@ -1,0 +1,162 @@
+"""Integration tests for the experiment runners."""
+
+import pytest
+
+from repro.datagen.queries import generate_queries
+from repro.eval.experiments import (
+    OverlapExperiment,
+    PrecisionExperiment,
+    SeparabilityExperiment,
+)
+from repro.pipeline import Pipeline
+
+
+@pytest.fixture(scope="module")
+def pipeline(small_dataset):
+    return Pipeline.from_dataset(small_dataset, min_context_size=3)
+
+
+@pytest.fixture(scope="module")
+def queries(small_dataset):
+    return [w.query for w in generate_queries(small_dataset, n_queries=8, seed=2)]
+
+
+class TestPrecisionExperiment:
+    @pytest.fixture(scope="class")
+    def experiment(self, pipeline, queries):
+        return PrecisionExperiment(
+            pipeline, queries, thresholds=(0.1, 0.3, 0.5)
+        )
+
+    def test_curve_shape(self, experiment):
+        curve = experiment.run("text", "text")
+        assert curve.function_name == "text"
+        assert len(curve.average) == 3
+        assert len(curve.median_) == 3
+        assert len(curve.empty_queries) == 3
+        for value in curve.average:
+            assert 0.0 <= value <= 1.0
+
+    def test_empty_queries_monotone_in_threshold(self, experiment):
+        curve = experiment.run("text", "text")
+        assert curve.empty_queries == sorted(curve.empty_queries)
+
+    def test_answer_sets_cached(self, experiment, queries):
+        first = experiment.answer_set(queries[0])
+        second = experiment.answer_set(queries[0])
+        assert first is second
+
+    def test_citation_curve_runs(self, experiment):
+        curve = experiment.run("citation", "text")
+        assert curve.function_name == "citation"
+
+    def test_format_table(self, experiment):
+        text = experiment.run("text", "text").format_table()
+        assert "precision[text]" in text
+        assert "avg" in text
+
+
+class TestOverlapExperiment:
+    def test_series_shape(self, pipeline):
+        paper_set = pipeline.experiment_paper_set("text")
+        experiment = OverlapExperiment(paper_set, levels=(2, 3), k_percents=(0.1, 0.2))
+        series = experiment.run(
+            pipeline.prestige("text", "text"),
+            pipeline.prestige("citation", "text"),
+        )
+        assert series.pair == ("text", "citation")
+        assert len(series.values) == 2
+        assert len(series.values[0]) == 2
+        for row in series.values:
+            for value in row:
+                assert value is None or 0.0 <= value <= 1.0
+
+    def test_self_overlap_is_one(self, pipeline):
+        paper_set = pipeline.experiment_paper_set("text")
+        experiment = OverlapExperiment(paper_set, levels=(2,), k_percents=(0.2,))
+        series = experiment.run(
+            pipeline.prestige("text", "text"),
+            pipeline.prestige("text", "text"),
+        )
+        value = series.values[0][0]
+        if value is not None:
+            assert value == pytest.approx(1.0)
+
+    def test_format_table(self, pipeline):
+        paper_set = pipeline.experiment_paper_set("text")
+        experiment = OverlapExperiment(paper_set, levels=(2,), k_percents=(0.1,))
+        series = experiment.run(
+            pipeline.prestige("text", "text"),
+            pipeline.prestige("citation", "text"),
+        )
+        assert "overlap[text-citation]" in series.format_table()
+
+
+class TestBaselineComparisonExperiment:
+    def test_comparison_shape(self, pipeline, queries):
+        from repro.eval.experiments import BaselineComparisonExperiment
+
+        experiment = BaselineComparisonExperiment(pipeline, queries)
+        comparison = experiment.run()
+        assert comparison.queries_evaluated >= 1
+        assert comparison.mean_output_reduction <= 1.0
+        assert 0.0 <= comparison.keyword_mean_precision <= 1.0
+        assert 0.0 <= comparison.context_mean_precision <= 1.0
+        assert comparison.max_output_reduction >= comparison.mean_output_reduction
+
+    def test_format_table(self, pipeline, queries):
+        from repro.eval.experiments import BaselineComparisonExperiment
+
+        comparison = BaselineComparisonExperiment(pipeline, queries).run()
+        table = comparison.format_table()
+        assert "mean output reduction" in table
+        assert "accuracy improvement" in table
+
+    def test_empty_queries_rejected(self, pipeline):
+        from repro.eval.experiments import BaselineComparisonExperiment
+
+        with pytest.raises(ValueError, match="at least one"):
+            BaselineComparisonExperiment(pipeline, [])
+
+    def test_unanswerable_workload_raises(self, pipeline):
+        from repro.eval.experiments import BaselineComparisonExperiment
+
+        experiment = BaselineComparisonExperiment(
+            pipeline, ["zzzz qqqq xxxx"]
+        )
+        with pytest.raises(ValueError, match="keyword output"):
+            experiment.run()
+
+
+class TestSeparabilityExperiment:
+    def test_result_shape(self, pipeline):
+        paper_set = pipeline.experiment_paper_set("text")
+        experiment = SeparabilityExperiment(paper_set, levels=(2, 3))
+        result = experiment.run(pipeline.prestige("text", "text"))
+        assert result.function_name == "text"
+        assert result.sd_by_context
+        for sd in result.sd_by_context.values():
+            assert 0.0 <= sd <= 30.0 + 1e-9
+        total = sum(percent for _, percent in result.histogram)
+        assert total == pytest.approx(100.0)
+
+    def test_per_level_histograms_present(self, pipeline):
+        paper_set = pipeline.experiment_paper_set("text")
+        experiment = SeparabilityExperiment(paper_set, levels=(2, 3))
+        result = experiment.run(pipeline.prestige("citation", "text"))
+        assert set(result.histogram_by_level) == {2, 3}
+
+    def test_percent_below(self, pipeline):
+        paper_set = pipeline.experiment_paper_set("text")
+        result = SeparabilityExperiment(paper_set).run(
+            pipeline.prestige("text", "text")
+        )
+        assert 0.0 <= result.percent_below(15.0) <= 100.0
+        assert result.percent_below(1000.0) == pytest.approx(100.0)
+
+    def test_format_table(self, pipeline):
+        paper_set = pipeline.experiment_paper_set("text")
+        result = SeparabilityExperiment(paper_set).run(
+            pipeline.prestige("text", "text")
+        )
+        assert "separability[text]" in result.format_table()

@@ -1,0 +1,158 @@
+"""Unit tests for precision, top-k% overlap, and separability metrics."""
+
+import math
+
+import pytest
+
+from repro.eval.metrics import (
+    median,
+    precision,
+    sd_histogram,
+    separability_sd,
+    top_fraction_ids,
+    topk_overlap,
+)
+
+
+class TestPrecision:
+    def test_full_precision(self):
+        assert precision(["a", "b"], ["a", "b", "c"]) == 1.0
+
+    def test_partial(self):
+        assert precision(["a", "x"], ["a"]) == 0.5
+
+    def test_zero(self):
+        assert precision(["x", "y"], ["a"]) == 0.0
+
+    def test_empty_results_is_none(self):
+        assert precision([], ["a"]) is None
+
+    def test_empty_answers(self):
+        assert precision(["a"], []) == 0.0
+
+
+class TestTopFractionIds:
+    def test_basic(self):
+        scores = {"a": 0.9, "b": 0.5, "c": 0.1}
+        assert top_fraction_ids(scores, 2) == {"a", "b"}
+
+    def test_tie_expansion(self):
+        scores = {"a": 0.9, "b": 0.5, "c": 0.5, "d": 0.1}
+        assert top_fraction_ids(scores, 2) == {"a", "b", "c"}
+
+    def test_k_exceeds_size(self):
+        scores = {"a": 1.0, "b": 0.5}
+        assert top_fraction_ids(scores, 10) == {"a", "b"}
+
+    def test_zero_k(self):
+        assert top_fraction_ids({"a": 1.0}, 0) == set()
+
+
+class TestTopkOverlap:
+    def test_identical_rankings(self):
+        scores = {"a": 0.9, "b": 0.5, "c": 0.1}
+        assert topk_overlap(scores, scores, k=2) == 1.0
+
+    def test_disjoint_top(self):
+        a = {"a": 0.9, "b": 0.8, "x": 0.1, "y": 0.1}
+        b = {"x": 0.9, "y": 0.8, "a": 0.1, "b": 0.1}
+        assert topk_overlap(a, b, k=2) == 0.0
+
+    def test_partial_overlap(self):
+        a = {"a": 0.9, "b": 0.8, "c": 0.1}
+        b = {"a": 0.9, "c": 0.8, "b": 0.1}
+        assert topk_overlap(a, b, k=2) == pytest.approx(0.5)
+
+    def test_tie_changes_denominator(self):
+        # a-side expands to 3 papers because of the tie at the 2nd score;
+        # denominator becomes min(3, 2) = 2.
+        a = {"a": 0.9, "b": 0.5, "c": 0.5}
+        b = {"a": 0.9, "b": 0.5, "c": 0.1}
+        value = topk_overlap(a, b, k=2)
+        assert value == pytest.approx(len({"a", "b", "c"} & {"a", "b"}) / 2)
+
+    def test_k_percent(self):
+        a = {f"p{i}": 1.0 - i / 10 for i in range(10)}
+        b = dict(a)
+        assert topk_overlap(a, b, k_percent=0.2) == 1.0
+
+    def test_empty_side_is_none(self):
+        assert topk_overlap({}, {"a": 1.0}, k=1) is None
+
+    def test_requires_exactly_one_mode(self):
+        with pytest.raises(ValueError):
+            topk_overlap({"a": 1.0}, {"a": 1.0})
+        with pytest.raises(ValueError):
+            topk_overlap({"a": 1.0}, {"a": 1.0}, k=1, k_percent=0.1)
+
+    def test_k_percent_validation(self):
+        with pytest.raises(ValueError):
+            topk_overlap({"a": 1.0}, {"a": 1.0}, k_percent=0.0)
+
+    def test_symmetry(self):
+        a = {"a": 0.9, "b": 0.8, "c": 0.1}
+        b = {"a": 0.2, "c": 0.9, "b": 0.5}
+        assert topk_overlap(a, b, k=2) == topk_overlap(b, a, k=2)
+
+
+class TestSeparabilitySd:
+    def test_perfectly_uniform(self):
+        # One score per range: 10% in each of 10 ranges -> SD 0.
+        scores = [i / 10 + 0.05 for i in range(10)]
+        assert separability_sd(scores) == pytest.approx(0.0)
+
+    def test_degenerate_all_same(self):
+        # Everything in one range: X = [100, 0, ..., 0].
+        sd = separability_sd([0.5] * 20)
+        expected = math.sqrt(((100 - 10) ** 2 + 9 * (0 - 10) ** 2) / 10)
+        assert sd == pytest.approx(expected)  # = 30.0
+
+    def test_uniform_better_than_clustered(self):
+        uniform = [i / 10 + 0.05 for i in range(10)]
+        clustered = [0.5] * 10
+        assert separability_sd(uniform) < separability_sd(clustered)
+
+    def test_boundary_value_one(self):
+        # A score of exactly 1.0 lands in the last range, not out of bounds.
+        assert separability_sd([1.0, 0.0]) is not None
+
+    def test_empty_is_none(self):
+        assert separability_sd([]) is None
+
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            separability_sd([0.5], n_ranges=0)
+
+
+class TestSdHistogram:
+    def test_distribution(self):
+        values = [2, 7, 12, 37, 99]
+        histogram = dict(sd_histogram(values))
+        assert histogram[0] == pytest.approx(20.0)
+        assert histogram[5] == pytest.approx(20.0)
+        assert histogram[10] == pytest.approx(20.0)
+        # 37 and 99 both land in the final [35, 40) bin (overflow included).
+        assert histogram[35] == pytest.approx(40.0)
+
+    def test_empty(self):
+        assert all(percent == 0.0 for _, percent in sd_histogram([]))
+
+    def test_percentages_sum_to_100(self):
+        values = [1, 6, 11, 16, 21, 26, 31, 36]
+        total = sum(percent for _, percent in sd_histogram(values))
+        assert total == pytest.approx(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sd_histogram([1.0], bin_edges=(5, 0))
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3, 1, 2]) == 2
+
+    def test_even(self):
+        assert median([4, 1, 3, 2]) == 2.5
+
+    def test_empty(self):
+        assert median([]) is None

@@ -1,0 +1,78 @@
+"""Unit tests for the markdown evaluation report."""
+
+import pytest
+
+from repro.cli import main
+from repro.datagen.queries import generate_queries
+from repro.eval.report import generate_report
+from repro.pipeline import Pipeline
+
+
+@pytest.fixture(scope="module")
+def report(small_dataset):
+    pipeline = Pipeline.from_dataset(small_dataset, min_context_size=3)
+    queries = [
+        w.query for w in generate_queries(small_dataset, n_queries=5, seed=4)
+    ]
+    return generate_report(
+        pipeline, queries, thresholds=(0.2, 0.4), levels=(2, 3)
+    )
+
+
+class TestGenerateReport:
+    def test_has_all_sections(self, report):
+        assert "# Context-based search evaluation" in report
+        assert "## Dataset" in report
+        assert "## Precision vs relevancy threshold" in report
+        assert "## Separability" in report
+        assert "## Top-5% overlapping ratio" in report
+
+    def test_all_arms_reported(self, report):
+        for arm in (
+            "text scores on the text-based paper set",
+            "citation scores on the text-based paper set",
+            "pattern scores on the pattern-based paper set",
+            "citation scores on the pattern-based paper set",
+        ):
+            assert arm in report
+
+    def test_tables_are_markdown(self, report):
+        assert "| t | average | median | empty queries |" in report
+        assert "| score function / paper set |" in report
+
+    def test_dataset_stats_present(self, report):
+        assert "papers" in report
+        assert "citation graph:" in report
+        assert "queries evaluated: 5" in report
+
+    def test_custom_title(self, small_dataset):
+        pipeline = Pipeline.from_dataset(small_dataset, min_context_size=3)
+        text = generate_report(
+            pipeline, ["query one"], thresholds=(0.3,), levels=(2,),
+            title="My Run",
+        )
+        assert text.startswith("# My Run")
+
+
+class TestCliReport:
+    def test_report_flag_writes_file(self, tmp_path):
+        data = tmp_path / "data"
+        assert (
+            main(
+                [
+                    "generate", "--papers", "120", "--terms", "30",
+                    "--seed", "3", "--out", str(data),
+                ]
+            )
+            == 0
+        )
+        report_path = tmp_path / "report.md"
+        code = main(
+            [
+                "evaluate", "--data", str(data), "--queries", "3",
+                "--report", str(report_path),
+            ]
+        )
+        assert code == 0
+        content = report_path.read_text(encoding="utf-8")
+        assert "## Precision vs relevancy threshold" in content

@@ -1,0 +1,90 @@
+"""Unit tests for statistical utilities."""
+
+import pytest
+
+from repro.eval.stats import bootstrap_mean_ci, kendall_tau, spearman
+
+
+class TestSpearman:
+    def test_perfect_positive(self):
+        a = {"x": 1.0, "y": 2.0, "z": 3.0}
+        b = {"x": 10.0, "y": 20.0, "z": 30.0}
+        assert spearman(a, b) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        a = {"x": 1.0, "y": 2.0, "z": 3.0}
+        b = {"x": 3.0, "y": 2.0, "z": 1.0}
+        assert spearman(a, b) == pytest.approx(-1.0)
+
+    def test_nonlinear_monotone_still_one(self):
+        a = {"x": 1.0, "y": 2.0, "z": 3.0}
+        b = {"x": 1.0, "y": 100.0, "z": 10000.0}
+        assert spearman(a, b) == pytest.approx(1.0)
+
+    def test_only_shared_keys_used(self):
+        a = {"x": 1.0, "y": 2.0, "z": 3.0, "extra": 99.0}
+        b = {"x": 1.0, "y": 2.0, "z": 3.0, "other": -5.0}
+        assert spearman(a, b) == pytest.approx(1.0)
+
+    def test_constant_side_is_none(self):
+        a = {"x": 1.0, "y": 1.0, "z": 1.0}
+        b = {"x": 1.0, "y": 2.0, "z": 3.0}
+        assert spearman(a, b) is None
+
+    def test_too_few_shared_keys(self):
+        assert spearman({"x": 1.0}, {"x": 2.0}) is None
+        assert spearman({"x": 1.0}, {"y": 2.0}) is None
+
+    def test_ties_use_average_ranks(self):
+        a = {"w": 1.0, "x": 2.0, "y": 2.0, "z": 3.0}
+        b = {"w": 1.0, "x": 2.5, "y": 2.5, "z": 4.0}
+        assert spearman(a, b) == pytest.approx(1.0)
+
+
+class TestKendall:
+    def test_perfect_agreement(self):
+        a = {"x": 1.0, "y": 2.0, "z": 3.0}
+        assert kendall_tau(a, a) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        a = {"x": 1.0, "y": 2.0, "z": 3.0}
+        b = {"x": 3.0, "y": 2.0, "z": 1.0}
+        assert kendall_tau(a, b) == pytest.approx(-1.0)
+
+    def test_bounds(self):
+        a = {"x": 1.0, "y": 5.0, "z": 3.0, "w": 2.0}
+        b = {"x": 2.0, "y": 1.0, "z": 5.0, "w": 4.0}
+        assert -1.0 <= kendall_tau(a, b) <= 1.0
+
+    def test_degenerate(self):
+        assert kendall_tau({"x": 1.0}, {"x": 1.0}) is None
+
+
+class TestBootstrap:
+    def test_mean_matches(self):
+        mean, low, high = bootstrap_mean_ci([1.0, 2.0, 3.0, 4.0], seed=1)
+        assert mean == pytest.approx(2.5)
+        assert low <= mean <= high
+
+    def test_deterministic_for_seed(self):
+        a = bootstrap_mean_ci([0.2, 0.5, 0.9, 0.4], seed=7)
+        b = bootstrap_mean_ci([0.2, 0.5, 0.9, 0.4], seed=7)
+        assert a == b
+
+    def test_tighter_with_more_data(self):
+        small = bootstrap_mean_ci([0.4, 0.6] * 3, seed=3)
+        large = bootstrap_mean_ci([0.4, 0.6] * 100, seed=3)
+        assert (large[2] - large[1]) < (small[2] - small[1])
+
+    def test_constant_data_zero_width(self):
+        mean, low, high = bootstrap_mean_ci([0.5] * 10, seed=2)
+        assert low == pytest.approx(high) == pytest.approx(0.5)
+
+    def test_empty_is_none(self):
+        assert bootstrap_mean_ci([]) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], confidence=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], n_resamples=0)

@@ -1,0 +1,160 @@
+"""Tests for ranking explanations, precomputed loading, and subontology."""
+
+import pytest
+
+from repro.citations.graph import CitationGraph
+from repro.core.context import Context, ContextPaperSet
+from repro.core.scores import TextPrestige
+from repro.core.search import ContextSearchEngine
+from repro.core.vectors import PaperVectorStore
+from repro.index.inverted import InvertedIndex
+from repro.index.search import KeywordSearchEngine
+from repro.ontology.ontology import Ontology, OntologyError
+from repro.ontology.term import Term
+
+
+@pytest.fixture(scope="module")
+def engine(request):
+    corpus = request.getfixturevalue("tiny_corpus")
+    ontology = request.getfixturevalue("tiny_ontology")
+    index = InvertedIndex().index_corpus(corpus)
+    vectors = PaperVectorStore(corpus, index.analyzer)
+    graph = CitationGraph.from_corpus(corpus)
+    paper_set = ContextPaperSet(
+        ontology,
+        [
+            Context("met", ("M1", "M2", "M3")),
+            Context("sig", ("S1", "S2")),
+        ],
+    )
+    prestige = TextPrestige(
+        corpus, vectors, graph, {"met": "M1", "sig": "S1"}
+    ).score_all(paper_set)
+    return ContextSearchEngine(
+        ontology, paper_set, prestige, KeywordSearchEngine(index)
+    )
+
+
+class TestExplain:
+    def test_retrievable_paper(self, engine):
+        explanation = engine.explain("glucose metabolic", "M1")
+        assert explanation.retrievable
+        assert explanation.matching > 0.0
+        assert explanation.best_relevancy is not None
+        context_ids = [row[0] for row in explanation.in_selected_contexts]
+        assert "met" in context_ids
+
+    def test_relevancy_decomposition_consistent(self, engine):
+        explanation = engine.explain("glucose metabolic", "M1")
+        for context_id, prestige, relevancy in explanation.in_selected_contexts:
+            assert relevancy == pytest.approx(
+                0.5 * prestige + 0.5 * explanation.matching
+            )
+
+    def test_explains_agreement_with_search(self, engine):
+        hits = {h.paper_id: h for h in engine.search("glucose metabolic")}
+        explanation = engine.explain("glucose metabolic", "M1")
+        assert explanation.best_relevancy == pytest.approx(hits["M1"].relevancy)
+
+    def test_paper_outside_selected_contexts(self, engine):
+        explanation = engine.explain("glucose metabolic", "X1")
+        assert not explanation.retrievable
+        assert explanation.in_selected_contexts == ()
+
+    def test_format_renders(self, engine):
+        text = engine.explain("glucose metabolic", "M1").format()
+        assert "text matching score" in text
+        assert "prestige=" in text
+        unretrievable = engine.explain("glucose metabolic", "X1").format()
+        assert "not retrievable" in unretrievable
+
+
+class TestSubontology:
+    @pytest.fixture
+    def mixed(self):
+        return Ontology(
+            [
+                Term("bp_root", "process", namespace="biological_process"),
+                Term(
+                    "bp_child",
+                    "x process",
+                    namespace="biological_process",
+                    parent_ids=("bp_root",),
+                ),
+                Term("mf_root", "activity", namespace="molecular_function"),
+                Term(
+                    "weird",
+                    "cross-aspect child",
+                    namespace="molecular_function",
+                    parent_ids=("bp_root", "mf_root"),
+                ),
+            ]
+        )
+
+    def test_restricts_terms(self, mixed):
+        bp = mixed.subontology("biological_process")
+        assert set(bp.term_ids()) == {"bp_root", "bp_child"}
+
+    def test_cross_namespace_parents_dropped(self, mixed):
+        mf = mixed.subontology("molecular_function")
+        assert mf.parents("weird") == ["mf_root"]
+
+    def test_unknown_namespace_raises(self, mixed):
+        with pytest.raises(OntologyError, match="no terms"):
+            mixed.subontology("cellular_component")
+
+    def test_namespaces_listed(self, mixed):
+        assert mixed.namespaces() == [
+            "biological_process",
+            "molecular_function",
+        ]
+
+    def test_levels_recomputed(self, mixed):
+        mf = mixed.subontology("molecular_function")
+        assert mf.level("weird") == 2
+
+
+class TestLoadPrecomputed:
+    def test_round_trip_through_pipeline(self, small_dataset, tmp_path):
+        from repro.core.io import write_context_paper_set, write_prestige_scores
+        from repro.pipeline import Pipeline
+
+        source = Pipeline.from_dataset(small_dataset, min_context_size=3)
+        write_context_paper_set(
+            source.text_paper_set, tmp_path / "text_paper_set.json"
+        )
+        write_prestige_scores(
+            source.prestige("text", "text"), tmp_path / "scores_text_text.json"
+        )
+
+        fresh = Pipeline.from_dataset(small_dataset, min_context_size=3)
+        loaded = fresh.load_precomputed(tmp_path)
+        assert loaded == 2
+        # The loaded artefacts short-circuit the builds and match exactly.
+        assert fresh.text_paper_set.context_ids() == (
+            source.text_paper_set.context_ids()
+        )
+        original = source.prestige("text", "text")
+        restored = fresh.prestige("text", "text")
+        for context_id in original.context_ids():
+            assert restored.of(context_id) == pytest.approx(
+                original.of(context_id)
+            )
+
+    def test_representatives_rederived_after_load(self, small_dataset, tmp_path):
+        from repro.core.io import write_context_paper_set
+        from repro.pipeline import Pipeline
+
+        source = Pipeline.from_dataset(small_dataset, min_context_size=3)
+        write_context_paper_set(
+            source.text_paper_set, tmp_path / "text_paper_set.json"
+        )
+        fresh = Pipeline.from_dataset(small_dataset, min_context_size=3)
+        fresh.load_precomputed(tmp_path)
+        assert fresh.representatives == source.representatives
+
+    def test_empty_directory_loads_nothing(self, small_dataset, tmp_path):
+        from repro.pipeline import Pipeline
+
+        pipeline = Pipeline.from_dataset(small_dataset)
+        assert pipeline.load_precomputed(tmp_path) == 0

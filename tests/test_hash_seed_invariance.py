@@ -1,0 +1,80 @@
+"""Regression test: results must not depend on PYTHONHASHSEED.
+
+Python randomises string hashing per process; any code path that lets a
+set's iteration order influence results (rather than just performance)
+produces run-to-run drift.  This test runs the core pipeline in two
+subprocesses with different hash seeds and requires identical artefacts.
+
+This guards against the class of bug fixed twice during development: the
+topic model iterating ``ontology.ancestors()`` (chunk order changed which
+chunk each RNG draw selected), and AC citation expansion breaking
+PageRank ties by set order.
+"""
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+_PROBE = """
+import hashlib, json
+from repro.datagen import CorpusGenerator, OntologyGenerator, generate_queries
+from repro.eval.ac_answer import ACAnswerBuilder
+from repro.pipeline import Pipeline
+
+gen = CorpusGenerator(
+    n_papers=150,
+    ontology_generator=OntologyGenerator(n_terms=40, max_depth=5),
+)
+ds = gen.generate(seed=13)
+pipeline = Pipeline.from_dataset(ds, min_context_size=3)
+builder = ACAnswerBuilder(
+    pipeline.keyword_engine, pipeline.vectors, pipeline.citation_graph
+)
+queries = [w.query for w in generate_queries(ds, n_queries=3, seed=2)]
+engine = pipeline.search_engine("text", "text")
+artefacts = {
+    "corpus": [p.to_dict() for p in ds.corpus],
+    "text_set": {c.term_id: list(c.paper_ids) for c in pipeline.text_paper_set},
+    "pattern_set": {
+        c.term_id: list(c.paper_ids) for c in pipeline.pattern_paper_set
+    },
+    "scores": {
+        c: {k: round(v, 12) for k, v in pipeline.prestige("text", "text").of(c).items()}
+        for c in pipeline.prestige("text", "text").context_ids()
+    },
+    "ac": {q: sorted(builder.build(q).papers) for q in queries},
+    "search": {
+        q: [(h.paper_id, round(h.relevancy, 12)) for h in engine.search(q)]
+        for q in queries
+    },
+}
+digest = hashlib.md5(
+    json.dumps(artefacts, sort_keys=True).encode()
+).hexdigest()
+print(digest)
+"""
+
+
+@pytest.mark.slow
+def test_results_invariant_to_hash_seed():
+    digests = []
+    for hash_seed in ("1", "987654321"):
+        env = dict(os.environ)
+        env["PYTHONHASHSEED"] = hash_seed
+        result = subprocess.run(
+            [sys.executable, "-c", _PROBE],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        digests.append(result.stdout.strip())
+    assert digests[0] == digests[1], (
+        "pipeline artefacts drift with PYTHONHASHSEED: a set's iteration "
+        "order is leaking into results somewhere"
+    )

@@ -1,0 +1,124 @@
+"""Unit tests for MEDLINE XML parsing."""
+
+import io
+
+import pytest
+
+from repro.ingest.medline import iter_medline_papers, pmid_id, read_medline_xml
+
+SAMPLE_XML = """<?xml version="1.0"?>
+<PubmedArticleSet>
+  <PubmedArticle>
+    <MedlineCitation>
+      <PMID Version="1">100</PMID>
+      <DateCompleted><Year>1999</Year></DateCompleted>
+      <Article>
+        <Journal><JournalIssue><PubDate><Year>1998</Year></PubDate></JournalIssue></Journal>
+        <ArticleTitle>Glucose metabolism in yeast</ArticleTitle>
+        <Abstract>
+          <AbstractText>We measured glucose flux.</AbstractText>
+          <AbstractText Label="METHODS">Mass spectrometry was used.</AbstractText>
+        </Abstract>
+        <AuthorList>
+          <Author><LastName>Smith</LastName><Initials>JA</Initials></Author>
+          <Author><CollectiveName>The Yeast Consortium</CollectiveName></Author>
+        </AuthorList>
+      </Article>
+      <MeshHeadingList>
+        <MeshHeading><DescriptorName UI="D005947">Glucose</DescriptorName></MeshHeading>
+        <MeshHeading><DescriptorName UI="D008660">Metabolism</DescriptorName></MeshHeading>
+      </MeshHeadingList>
+    </MedlineCitation>
+    <PubmedData>
+      <ReferenceList>
+        <Reference>
+          <ArticleIdList><ArticleId IdType="pubmed">99</ArticleId></ArticleIdList>
+        </Reference>
+        <Reference>
+          <ArticleIdList><ArticleId IdType="doi">10.1/xyz</ArticleId></ArticleIdList>
+        </Reference>
+      </ReferenceList>
+    </PubmedData>
+  </PubmedArticle>
+  <PubmedArticle>
+    <MedlineCitation>
+      <PMID>99</PMID>
+      <Article>
+        <ArticleTitle>Earlier work</ArticleTitle>
+      </Article>
+    </MedlineCitation>
+  </PubmedArticle>
+  <PubmedArticle>
+    <MedlineCitation>
+      <Article><ArticleTitle>No PMID, must be skipped</ArticleTitle></Article>
+    </MedlineCitation>
+  </PubmedArticle>
+</PubmedArticleSet>
+"""
+
+
+@pytest.fixture
+def corpus():
+    return read_medline_xml(io.StringIO(SAMPLE_XML))
+
+
+class TestPmidId:
+    def test_bare_number(self):
+        assert pmid_id("123") == "PMID:123"
+
+    def test_already_prefixed(self):
+        assert pmid_id("PMID:123") == "PMID:123"
+        assert pmid_id("pmid:123") == "PMID:123"
+
+    def test_whitespace(self):
+        assert pmid_id("  42 ") == "PMID:42"
+
+
+class TestReadMedlineXml:
+    def test_paper_count_skips_pmidless(self, corpus):
+        assert len(corpus) == 2
+
+    def test_field_mapping(self, corpus):
+        paper = corpus.paper("PMID:100")
+        assert paper.title == "Glucose metabolism in yeast"
+        assert "We measured glucose flux." in paper.abstract
+        assert "METHODS: Mass spectrometry was used." in paper.abstract
+        assert paper.index_terms == ("Glucose", "Metabolism")
+        assert paper.authors == ("JA Smith", "The Yeast Consortium")
+        assert paper.year == 1998  # PubDate preferred over DateCompleted
+
+    def test_references_pubmed_only(self, corpus):
+        paper = corpus.paper("PMID:100")
+        assert paper.references == ("PMID:99",)
+        # And the reference resolves within this corpus.
+        assert corpus.references_of("PMID:100") == ("PMID:99",)
+
+    def test_default_year_applied(self, corpus):
+        assert corpus.paper("PMID:99").year == 2000
+
+    def test_body_empty(self, corpus):
+        assert corpus.paper("PMID:100").body == ""
+
+    def test_duplicate_pmids_keep_first(self):
+        duplicated = SAMPLE_XML.replace(
+            "<ArticleTitle>Earlier work</ArticleTitle>",
+            "<ArticleTitle>Earlier work</ArticleTitle>",
+        )
+        # Build an export with article 99 twice.
+        doubled = duplicated.replace(
+            "</PubmedArticleSet>",
+            """<PubmedArticle><MedlineCitation><PMID>99</PMID>
+            <Article><ArticleTitle>Duplicate of 99</ArticleTitle></Article>
+            </MedlineCitation></PubmedArticle></PubmedArticleSet>""",
+        )
+        corpus = read_medline_xml(io.StringIO(doubled))
+        assert corpus.paper("PMID:99").title == "Earlier work"
+
+    def test_iterator_streams(self):
+        papers = list(iter_medline_papers(io.StringIO(SAMPLE_XML)))
+        assert [p.paper_id for p in papers] == ["PMID:100", "PMID:99"]
+
+    def test_reads_from_path(self, tmp_path):
+        path = tmp_path / "export.xml"
+        path.write_text(SAMPLE_XML, encoding="utf-8")
+        assert len(read_medline_xml(str(path))) == 2

@@ -1,0 +1,131 @@
+"""Unit tests for the keyword search engine."""
+
+import pytest
+
+from repro.corpus.corpus import Corpus
+from repro.corpus.paper import Paper, Section
+from repro.index.inverted import InvertedIndex
+from repro.index.search import KeywordSearchEngine
+
+
+@pytest.fixture
+def corpus():
+    return Corpus(
+        [
+            Paper(
+                paper_id="P1",
+                title="Gene expression regulation",
+                abstract="How genes are regulated.",
+                body="gene gene gene expression",
+                year=2001,
+            ),
+            Paper(
+                paper_id="P2",
+                title="Protein structures",
+                abstract="Gene mention once.",
+                year=2004,
+            ),
+            Paper(
+                paper_id="P3",
+                title="Yeast metabolism",
+                body="Nothing relevant here.",
+                year=1998,
+            ),
+        ]
+    )
+
+
+@pytest.fixture
+def engine(corpus):
+    return KeywordSearchEngine(InvertedIndex().index_corpus(corpus))
+
+
+class TestRankedSearch:
+    def test_relevance_ordering(self, engine):
+        hits = engine.search("gene expression")
+        ids = [h.paper_id for h in hits]
+        assert ids[0] == "P1"
+        assert "P2" in ids
+        assert "P3" not in ids
+
+    def test_scores_in_unit_interval(self, engine):
+        for hit in engine.search("gene expression regulation"):
+            assert 0.0 <= hit.score <= 1.0
+
+    def test_limit(self, engine):
+        assert len(engine.search("gene", limit=1)) == 1
+
+    def test_threshold_filters(self, engine):
+        all_hits = engine.search("gene")
+        strong = engine.search("gene", threshold=max(h.score for h in all_hits))
+        assert len(strong) <= len(all_hits)
+        assert all(h.score >= max(x.score for x in all_hits) for h in strong)
+
+    def test_require_all_terms(self, engine):
+        hits = engine.search("gene expression", require_all_terms=True)
+        assert [h.paper_id for h in hits] == ["P1"]
+
+    def test_empty_query(self, engine):
+        assert engine.search("") == []
+
+    def test_stopword_only_query(self, engine):
+        assert engine.search("the of and") == []
+
+    def test_unknown_terms(self, engine):
+        assert engine.search("zebra quagga") == []
+
+    def test_matched_terms_counted(self, engine):
+        hits = {h.paper_id: h for h in engine.search("gene expression")}
+        assert hits["P1"].matched_terms == 2
+        assert hits["P2"].matched_terms == 1
+
+    def test_deterministic_tie_break(self, engine):
+        hits = engine.search("gene")
+        assert hits == engine.search("gene")
+
+
+class TestMatchScore:
+    def test_match_score_bounds(self, engine):
+        assert 0.0 <= engine.match_score("gene expression", "P1") <= 1.0
+
+    def test_zero_for_no_match(self, engine):
+        assert engine.match_score("zebra", "P1") == 0.0
+
+    def test_zero_for_empty_query(self, engine):
+        assert engine.match_score("", "P1") == 0.0
+
+    def test_better_match_scores_higher(self, engine):
+        assert engine.match_score("gene expression", "P1") > engine.match_score(
+            "gene expression", "P2"
+        )
+
+    def test_consistent_with_search(self, engine):
+        hits = {h.paper_id: h.score for h in engine.search("gene expression")}
+        assert engine.match_score("gene expression", "P1") == pytest.approx(
+            hits["P1"]
+        )
+
+
+class TestUnrankedSearch:
+    def test_pubmed_ordering_by_year_desc(self, engine, corpus):
+        result = engine.search_unranked("gene", corpus)
+        assert result == ["P2", "P1"]  # 2004 before 2001
+
+    def test_boolean_and(self, engine, corpus):
+        assert engine.search_unranked("gene expression", corpus) == ["P1"]
+
+    def test_no_results(self, engine, corpus):
+        assert engine.search_unranked("zebra", corpus) == []
+
+    def test_empty_query(self, engine, corpus):
+        assert engine.search_unranked("", corpus) == []
+
+
+class TestSectionWeights:
+    def test_title_weight_dominates(self, corpus):
+        index = InvertedIndex().index_corpus(corpus)
+        title_heavy = KeywordSearchEngine(
+            index, section_weights={Section.TITLE: 10.0}
+        )
+        hits = title_heavy.search("structures")
+        assert hits[0].paper_id == "P2"

@@ -1,0 +1,188 @@
+"""Unit tests for the ontology DAG."""
+
+import math
+
+import pytest
+
+from repro.ontology.ontology import Ontology, OntologyError
+from repro.ontology.term import Term
+
+
+def diamond_ontology():
+    """root -> {a, b} -> c (diamond), plus leaf d under a.
+
+        root
+        /  \\
+       a    b
+       |\\  /
+       | \\/
+       d  c
+    """
+    return Ontology(
+        [
+            Term("root", "biological process"),
+            Term("a", "metabolic process", parent_ids=("root",)),
+            Term("b", "cellular process", parent_ids=("root",)),
+            Term("c", "glucose metabolic process", parent_ids=("a", "b")),
+            Term("d", "lipid storage", parent_ids=("a",)),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(OntologyError, match="duplicate"):
+            Ontology([Term("x", "one"), Term("x", "two")])
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(OntologyError, match="unknown parent"):
+            Ontology([Term("x", "child", parent_ids=("ghost",))])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(OntologyError):
+            Ontology(
+                [
+                    Term("a", "a", parent_ids=("b",)),
+                    Term("b", "b", parent_ids=("a",)),
+                ]
+            )
+
+    def test_len_and_contains(self):
+        onto = diamond_ontology()
+        assert len(onto) == 5
+        assert "c" in onto and "zzz" not in onto
+
+    def test_unknown_term_lookup(self):
+        with pytest.raises(OntologyError, match="unknown term"):
+            diamond_ontology().term("missing")
+
+
+class TestHierarchy:
+    @pytest.fixture
+    def onto(self):
+        return diamond_ontology()
+
+    def test_roots(self, onto):
+        assert onto.roots == ["root"]
+
+    def test_parents_children(self, onto):
+        assert onto.parents("c") == ["a", "b"]
+        assert onto.children("a") == ["c", "d"]
+        assert onto.children("c") == []
+
+    def test_ancestors(self, onto):
+        assert onto.ancestors("c") == {"a", "b", "root"}
+        assert onto.ancestors("c", include_self=True) == {"a", "b", "c", "root"}
+        assert onto.ancestors("root") == set()
+
+    def test_descendants(self, onto):
+        assert onto.descendants("root") == {"a", "b", "c", "d"}
+        assert onto.descendants("a") == {"c", "d"}
+        assert onto.descendants("a", include_self=True) == {"a", "c", "d"}
+
+    def test_is_ancestor(self, onto):
+        assert onto.is_ancestor("root", "c")
+        assert onto.is_ancestor("a", "c")
+        assert not onto.is_ancestor("c", "a")
+        assert not onto.is_ancestor("a", "a")
+
+    def test_hierarchically_related(self, onto):
+        assert onto.are_hierarchically_related("a", "c")
+        assert onto.are_hierarchically_related("c", "a")
+        assert onto.are_hierarchically_related("a", "a")
+        assert not onto.are_hierarchically_related("a", "b")
+
+    def test_levels_root_is_one(self, onto):
+        assert onto.level("root") == 1
+        assert onto.level("a") == 2
+        assert onto.level("c") == 3
+
+    def test_level_uses_shortest_path(self):
+        # c has parents at level 1 (root) and level 2 (a): min path wins.
+        onto = Ontology(
+            [
+                Term("root", "r"),
+                Term("a", "a", parent_ids=("root",)),
+                Term("c", "c", parent_ids=("root", "a")),
+            ]
+        )
+        assert onto.level("c") == 2
+
+    def test_terms_at_level(self, onto):
+        assert onto.terms_at_level(2) == ["a", "b"]
+        assert onto.terms_at_level(99) == []
+
+    def test_max_level(self, onto):
+        assert onto.max_level == 3
+
+    def test_multiple_roots(self):
+        onto = Ontology([Term("r1", "one"), Term("r2", "two")])
+        assert onto.roots == ["r1", "r2"]
+        assert onto.level("r2") == 1
+
+
+class TestInformationContent:
+    @pytest.fixture
+    def onto(self):
+        return diamond_ontology()
+
+    def test_p_counts_self(self, onto):
+        # c is a leaf: p = 1/5.
+        assert onto.p("c") == pytest.approx(1 / 5)
+        # a reaches {a, c, d}: p = 3/5.
+        assert onto.p("a") == pytest.approx(3 / 5)
+        # root reaches everything: p = 1.
+        assert onto.p("root") == pytest.approx(1.0)
+
+    def test_diamond_not_double_counted(self, onto):
+        # root reaches c through both a and b, but c counts once.
+        assert onto.p("root") == pytest.approx(1.0)
+
+    def test_information_content(self, onto):
+        assert onto.information_content("root") == pytest.approx(0.0)
+        assert onto.information_content("c") == pytest.approx(math.log(5))
+
+    def test_ic_anti_monotone_on_chain(self, onto):
+        assert onto.information_content("root") <= onto.information_content("a")
+        assert onto.information_content("a") <= onto.information_content("c")
+
+    def test_rate_of_decay_in_unit_interval(self, onto):
+        decay = onto.rate_of_decay("a", "c")
+        assert 0.0 < decay < 1.0
+
+    def test_rate_of_decay_from_root_is_zero(self, onto):
+        assert onto.rate_of_decay("root", "c") == 0.0
+
+    def test_rate_of_decay_requires_ancestry(self, onto):
+        with pytest.raises(OntologyError, match="not an ancestor"):
+            onto.rate_of_decay("a", "b")
+
+
+class TestTraversal:
+    def test_walk_breadth_first_from_root(self):
+        onto = diamond_ontology()
+        order = list(onto.walk_breadth_first())
+        assert order[0] == "root"
+        assert set(order) == {"root", "a", "b", "c", "d"}
+        # Level 2 terms appear before level 3 terms.
+        assert order.index("a") < order.index("c")
+
+    def test_walk_from_subtree(self):
+        onto = diamond_ontology()
+        assert set(onto.walk_breadth_first("a")) == {"a", "c", "d"}
+
+
+class TestTerm:
+    def test_name_words(self):
+        term = Term("GO:1", "RNA polymerase II transcription factor activity")
+        assert term.name_words() == (
+            "rna",
+            "polymerase",
+            "ii",
+            "transcription",
+            "factor",
+            "activity",
+        )
+
+    def test_str(self):
+        assert str(Term("GO:1", "DNA repair")) == "GO:1 (DNA repair)"

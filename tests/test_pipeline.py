@@ -1,0 +1,96 @@
+"""Integration tests for the end-to-end pipeline."""
+
+import pytest
+
+from repro.pipeline import Pipeline, build_demo_pipeline
+
+
+@pytest.fixture(scope="module")
+def pipeline(small_dataset):
+    return Pipeline.from_dataset(small_dataset, min_context_size=3)
+
+
+class TestArtifacts:
+    def test_index_covers_corpus(self, pipeline):
+        assert pipeline.index.n_papers == len(pipeline.corpus)
+
+    def test_text_paper_set_built(self, pipeline):
+        paper_set = pipeline.text_paper_set
+        assert len(paper_set) > 0
+        for context in paper_set:
+            assert context.training_paper_ids
+
+    def test_pattern_paper_set_built(self, pipeline):
+        paper_set = pipeline.pattern_paper_set
+        assert len(paper_set) > 0
+
+    def test_representatives_are_training_papers(self, pipeline):
+        for term_id, rep in pipeline.representatives.items():
+            context = pipeline.text_paper_set.context(term_id)
+            assert rep in context.training_paper_ids
+
+    def test_artifacts_memoised(self, pipeline):
+        assert pipeline.text_paper_set is pipeline.text_paper_set
+        assert pipeline.index is pipeline.index
+        assert pipeline.prestige("text", "text") is pipeline.prestige("text", "text")
+
+    def test_unknown_prestige_function_rejected(self, pipeline):
+        with pytest.raises(ValueError, match="unknown prestige"):
+            pipeline.prestige("bogus")
+
+
+class TestPrestigeScores:
+    @pytest.mark.parametrize("function", ["citation", "text", "pattern"])
+    def test_scores_in_unit_interval(self, pipeline, function):
+        paper_set_name = "pattern" if function == "pattern" else "text"
+        scores = pipeline.prestige(function, paper_set_name)
+        assert len(scores) > 0
+        for context_id in scores.context_ids():
+            for value in scores.of(context_id).values():
+                assert 0.0 <= value <= 1.0
+
+    def test_scores_cover_context_papers(self, pipeline):
+        scores = pipeline.prestige("text", "text")
+        for context in pipeline.text_paper_set:
+            if context.term_id in scores:
+                context_scores = scores.of(context.term_id)
+                for paper_id in context.paper_ids:
+                    assert paper_id in context_scores
+
+
+class TestSearch:
+    def test_search_returns_hits_for_topical_query(self, pipeline, small_dataset):
+        # Build a query from a mid-level term's jargon: guaranteed topical.
+        ontology = small_dataset.ontology
+        term_id = next(
+            tid
+            for tid in ontology.term_ids()
+            if ontology.level(tid) >= 2
+            and small_dataset.training_papers.get(tid)
+        )
+        jargon = small_dataset.topics.jargon_of(term_id)
+        query = " ".join(jargon[:2])
+        hits = pipeline.search(query, limit=10)
+        assert hits, f"no hits for {query!r}"
+        for hit in hits:
+            assert 0.0 <= hit.relevancy <= 1.0
+
+    def test_experiment_paper_set_filters(self, pipeline):
+        full = pipeline.text_paper_set
+        view = pipeline.experiment_paper_set("text")
+        assert len(view) <= len(full)
+        for context in view:
+            assert context.size >= 3
+
+
+class TestBuildDemoPipeline:
+    def test_deterministic(self):
+        a = build_demo_pipeline(seed=4, n_papers=80, n_terms=25)
+        b = build_demo_pipeline(seed=4, n_papers=80, n_terms=25)
+        assert [p.paper_id for p in a.corpus] == [p.paper_id for p in b.corpus]
+        assert a.corpus.paper("P000010") == b.corpus.paper("P000010")
+
+    def test_search_smoke(self):
+        pipeline = build_demo_pipeline(seed=4, n_papers=80, n_terms=25)
+        # Whatever the query, the call path must not blow up.
+        pipeline.search("binding activity", limit=5)

@@ -1,0 +1,64 @@
+"""Property-based tests for data-generation invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.corpus_gen import CorpusGenerator
+from repro.datagen.ontology_gen import OntologyGenerator
+
+params = st.tuples(
+    st.integers(min_value=5, max_value=60),   # n_papers
+    st.integers(min_value=3, max_value=25),   # n_terms
+    st.integers(min_value=0, max_value=50),   # seed
+)
+
+
+class TestCorpusGenerationInvariants:
+    @given(params)
+    @settings(max_examples=15, deadline=None)
+    def test_structural_invariants(self, config):
+        n_papers, n_terms, seed = config
+        generator = CorpusGenerator(
+            n_papers=n_papers,
+            ontology_generator=OntologyGenerator(n_terms=n_terms, max_depth=5),
+        )
+        dataset = generator.generate(seed=seed)
+        corpus = dataset.corpus
+        assert len(corpus) == n_papers
+        assert len(dataset.ontology) == n_terms
+        ids = corpus.paper_ids()
+        for paper in corpus:
+            own_index = int(paper.paper_id[1:])
+            # References point strictly backwards and resolve in-corpus.
+            for reference in paper.references:
+                assert int(reference[1:]) < own_index
+                assert reference in corpus
+            # True contexts exist in the ontology; primary term recorded.
+            assert paper.true_context_ids
+            assert all(t in dataset.ontology for t in paper.true_context_ids)
+            assert (
+                dataset.primary_term_of[paper.paper_id]
+                == paper.true_context_ids[0]
+            )
+            # Authors deduplicated.
+            assert len(set(paper.authors)) == len(paper.authors)
+        # Training papers are corpus members with matching primary term,
+        # and reviews never train.
+        for term_id, training in dataset.training_papers.items():
+            for paper_id in training:
+                assert paper_id in corpus
+                assert dataset.primary_term_of[paper_id] == term_id
+                assert paper_id not in dataset.review_paper_ids
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=10, deadline=None)
+    def test_seed_determinism(self, seed):
+        generator = CorpusGenerator(
+            n_papers=20,
+            ontology_generator=OntologyGenerator(n_terms=10, max_depth=4),
+        )
+        a = generator.generate(seed=seed)
+        b = generator.generate(seed=seed)
+        assert [p.to_dict() for p in a.corpus] == [p.to_dict() for p in b.corpus]
+        assert a.training_papers == b.training_papers
+        assert a.review_paper_ids == b.review_paper_ids

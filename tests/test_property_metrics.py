@@ -1,0 +1,100 @@
+"""Property-based tests for the evaluation metrics and ontology invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    precision,
+    sd_histogram,
+    separability_sd,
+    top_fraction_ids,
+    topk_overlap,
+)
+from repro.datagen.ontology_gen import OntologyGenerator
+
+ids = st.text(alphabet="abcdefgh", min_size=1, max_size=3)
+score_maps = st.dictionaries(
+    ids, st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=1,
+    max_size=20,
+)
+
+
+class TestPrecisionProperties:
+    @given(st.sets(ids, max_size=15), st.sets(ids, max_size=15))
+    def test_bounds(self, results, answers):
+        value = precision(results, answers)
+        if not results:
+            assert value is None
+        else:
+            assert 0.0 <= value <= 1.0
+
+    @given(st.sets(ids, min_size=1, max_size=15))
+    def test_perfect_when_results_subset_of_answers(self, results):
+        assert precision(results, results | {"zzz"}) == 1.0
+
+
+class TestTopKOverlapProperties:
+    @given(score_maps, score_maps, st.integers(min_value=1, max_value=10))
+    def test_bounds_and_symmetry(self, a, b, k):
+        value = topk_overlap(a, b, k=k)
+        assert value is not None
+        assert 0.0 <= value <= 1.0
+        assert math.isclose(value, topk_overlap(b, a, k=k), rel_tol=1e-12)
+
+    @given(score_maps, st.integers(min_value=1, max_value=10))
+    def test_self_overlap_is_one(self, a, k):
+        assert topk_overlap(a, a, k=k) == 1.0
+
+    @given(score_maps, st.integers(min_value=1, max_value=10))
+    def test_top_ids_contains_argmax(self, a, k):
+        top = top_fraction_ids(a, k)
+        best = max(a, key=lambda key: (a[key], key))
+        assert best in top
+
+
+class TestSeparabilityProperties:
+    score_lists = st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=60,
+    )
+
+    @given(score_lists)
+    def test_bounds(self, scores):
+        sd = separability_sd(scores)
+        assert 0.0 <= sd <= 30.0 + 1e-9  # 30 = degenerate single-bin case
+
+    @given(score_lists)
+    def test_histogram_percentages_sum_to_100(self, scores):
+        sd = separability_sd(scores)
+        histogram = sd_histogram([sd])
+        assert math.isclose(sum(p for _, p in histogram), 100.0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_constant_scores_are_degenerate(self, value):
+        assert separability_sd([value] * 10) == separability_sd([value] * 50)
+
+
+class TestOntologyProperties:
+    @given(st.integers(min_value=1, max_value=120), st.integers(min_value=0, max_value=10))
+    @settings(max_examples=25, deadline=None)
+    def test_generated_ontology_invariants(self, n_terms, seed):
+        ontology = OntologyGenerator(n_terms=n_terms, max_depth=6).generate(seed=seed)
+        assert len(ontology) == n_terms
+        # Levels: every child sits exactly one below its shallowest parent.
+        for term in ontology:
+            if term.parent_ids:
+                best = min(ontology.level(p) for p in term.parent_ids)
+                assert ontology.level(term.term_id) == best + 1
+            else:
+                assert ontology.level(term.term_id) == 1
+        # Information content is anti-monotone along ancestor chains.
+        for term in ontology:
+            ic = ontology.information_content(term.term_id)
+            for ancestor in ontology.ancestors(term.term_id):
+                assert ontology.information_content(ancestor) <= ic + 1e-9
+        # p(root) == 1 for a single-root ontology.
+        if len(ontology.roots) == 1:
+            assert math.isclose(ontology.p(ontology.roots[0]), 1.0)

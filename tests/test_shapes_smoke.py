@@ -1,0 +1,90 @@
+"""Fast regression guards for the paper's structural findings.
+
+The full shape reproduction lives in benchmarks/; these tests pin the
+most stable orderings at small scale so a regression shows up in the
+ordinary test run, not only when someone runs the benches.
+"""
+
+import pytest
+
+from repro.eval.experiments import SeparabilityExperiment
+from repro.pipeline import Pipeline
+
+
+@pytest.fixture(scope="module")
+def pipeline(small_dataset):
+    return Pipeline.from_dataset(small_dataset, min_context_size=5)
+
+
+class TestStructuralShapes:
+    def test_citation_separability_worst_on_text_set(self, pipeline):
+        paper_set = pipeline.experiment_paper_set("text")
+        experiment = SeparabilityExperiment(paper_set)
+        text_sd = experiment.run(pipeline.prestige("text", "text")).mean_sd()
+        citation_sd = experiment.run(
+            pipeline.prestige("citation", "text")
+        ).mean_sd()
+        assert citation_sd > text_sd
+
+    def test_citation_separability_worst_on_pattern_set(self, pipeline):
+        paper_set = pipeline.experiment_paper_set("pattern")
+        experiment = SeparabilityExperiment(paper_set)
+        pattern_sd = experiment.run(
+            pipeline.prestige("pattern", "pattern")
+        ).mean_sd()
+        citation_sd = experiment.run(
+            pipeline.prestige("citation", "pattern")
+        ).mean_sd()
+        assert citation_sd > pattern_sd
+
+    def test_citation_scores_degenerate_in_sparse_contexts(self, pipeline):
+        """Most contexts' citation scores collapse to few unique values --
+        the mechanism behind every citation finding in the paper."""
+        scores = pipeline.prestige("citation", "pattern")
+        degenerate = 0
+        total = 0
+        for context in pipeline.experiment_paper_set("pattern"):
+            context_scores = scores.of(context.term_id)
+            if len(context_scores) < 5:
+                continue
+            total += 1
+            unique = len(set(context_scores.values()))
+            if unique <= len(context_scores) / 2:
+                degenerate += 1
+        assert total > 0
+        assert degenerate / total > 0.5
+
+    def test_text_scores_not_degenerate(self, pipeline):
+        scores = pipeline.prestige("text", "text")
+        healthy = 0
+        total = 0
+        for context in pipeline.experiment_paper_set("text"):
+            context_scores = scores.of(context.term_id)
+            if len(context_scores) < 5:
+                continue
+            total += 1
+            unique = len(set(context_scores.values()))
+            if unique > len(context_scores) * 0.8:
+                healthy += 1
+        assert total > 0
+        assert healthy / total > 0.8
+
+    def test_context_output_smaller_than_keyword_output(
+        self, pipeline, small_dataset
+    ):
+        """The [2] output-reduction claim holds directionally."""
+        from repro.datagen.queries import generate_queries
+
+        queries = [
+            w.query for w in generate_queries(small_dataset, n_queries=6, seed=3)
+        ]
+        engine = pipeline.search_engine("text", "text")
+        reductions = []
+        for query in queries:
+            keyword_n = len(pipeline.keyword_engine.search(query))
+            if keyword_n == 0:
+                continue
+            context_n = len(engine.search(query))
+            reductions.append(1 - context_n / keyword_n)
+        assert reductions
+        assert sum(reductions) / len(reductions) > 0.0

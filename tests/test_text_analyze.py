@@ -1,0 +1,63 @@
+"""Unit tests for the composed Analyzer pipeline."""
+
+from repro.text.analyze import Analyzer, default_analyzer
+
+
+class TestAnalyzer:
+    def test_full_pipeline(self):
+        analyzer = Analyzer()
+        assert analyzer.analyze("The binding of transcription factors") == [
+            "bind",
+            "transcript",
+            "factor",
+        ]
+
+    def test_stopwords_removed(self):
+        analyzer = Analyzer()
+        assert analyzer.analyze("the and of is") == []
+
+    def test_stemming_disabled(self):
+        analyzer = Analyzer(stem=False)
+        assert analyzer.analyze("binding factors") == ["binding", "factors"]
+
+    def test_custom_stopwords(self):
+        analyzer = Analyzer(stopwords=frozenset({"binding"}), stem=False)
+        assert analyzer.analyze("binding factors") == ["factors"]
+
+    def test_empty_stopword_set_keeps_everything(self):
+        analyzer = Analyzer(stopwords=frozenset(), stem=False)
+        assert analyzer.analyze("the cat") == ["the", "cat"]
+
+    def test_min_token_length_filters_after_stemming(self):
+        analyzer = Analyzer(min_token_length=5)
+        # 'bind' (4 chars after stemming) is dropped, 'transcript' survives.
+        result = analyzer.analyze("binding transcription")
+        assert result == ["transcript"]
+
+    def test_empty_text(self):
+        assert Analyzer().analyze("") == []
+
+    def test_analyze_tokens_skips_tokenisation(self):
+        analyzer = Analyzer()
+        assert analyzer.analyze_tokens(["binding", "the", "factors"]) == [
+            "bind",
+            "factor",
+        ]
+
+    def test_gene_symbols_survive(self):
+        assert Analyzer().analyze("p53 regulates brca1") == ["p53", "regul", "brca1"]
+
+    def test_stem_cache_consistency(self):
+        analyzer = Analyzer()
+        first = analyzer.analyze("binding binding binding")
+        second = analyzer.analyze("binding")
+        assert first == ["bind", "bind", "bind"]
+        assert second == ["bind"]
+
+
+class TestDefaultAnalyzer:
+    def test_returns_shared_instance(self):
+        assert default_analyzer() is default_analyzer()
+
+    def test_shared_instance_works(self):
+        assert default_analyzer().analyze("kinases") == ["kinas"]

@@ -1,0 +1,86 @@
+"""Unit tests for apriori-style frequent phrase mining."""
+
+import pytest
+
+from repro.text.phrases import FrequentPhraseMiner, Phrase
+
+
+def phrase_set(phrases, length=None):
+    return {
+        p.words for p in phrases if length is None or len(p.words) == length
+    }
+
+
+class TestFrequentPhraseMiner:
+    def test_single_tokens_with_support(self):
+        docs = [["a", "b"], ["a", "c"], ["a"]]
+        phrases = FrequentPhraseMiner(min_support=2, max_length=1).mine(docs)
+        assert phrase_set(phrases) == {("a",)}
+        (only,) = phrases
+        assert only.support == 3
+        assert only.support_ratio == pytest.approx(1.0)
+
+    def test_bigrams_require_frequent_parts(self):
+        docs = [
+            ["gene", "expression", "data"],
+            ["gene", "expression", "noise"],
+        ]
+        phrases = FrequentPhraseMiner(min_support=2, max_length=2).mine(docs)
+        assert ("gene", "expression") in phrase_set(phrases, 2)
+        # 'data'/'noise' are infrequent singletons, so no bigram includes them.
+        assert ("expression", "data") not in phrase_set(phrases, 2)
+
+    def test_document_support_counts_doc_once(self):
+        docs = [["x", "x", "x"], ["y"]]
+        phrases = FrequentPhraseMiner(min_support=2, max_length=1).mine(docs)
+        # 'x' occurs three times but in only one document.
+        assert phrase_set(phrases) == set()
+
+    def test_trigram_growth(self):
+        docs = [
+            ["rna", "polymerase", "activity", "assay"],
+            ["rna", "polymerase", "activity", "levels"],
+            ["other", "words", "entirely", "here"],
+        ]
+        phrases = FrequentPhraseMiner(min_support=2, max_length=3).mine(docs)
+        assert ("rna", "polymerase", "activity") in phrase_set(phrases, 3)
+
+    def test_apriori_pruning_blocks_missing_suffix(self):
+        # 'b c' frequent, 'a b' infrequent -> 'a b c' cannot be produced.
+        docs = [["a", "b", "c"], ["x", "b", "c"]]
+        phrases = FrequentPhraseMiner(min_support=2, max_length=3).mine(docs)
+        assert ("b", "c") in phrase_set(phrases, 2)
+        assert phrase_set(phrases, 3) == set()
+
+    def test_empty_documents(self):
+        assert FrequentPhraseMiner().mine([]) == []
+
+    def test_all_docs_empty_token_lists(self):
+        assert FrequentPhraseMiner().mine([[], []]) == []
+
+    def test_min_support_validation(self):
+        with pytest.raises(ValueError):
+            FrequentPhraseMiner(min_support=0)
+
+    def test_max_length_validation(self):
+        with pytest.raises(ValueError):
+            FrequentPhraseMiner(max_length=0)
+
+    def test_output_ordering(self):
+        docs = [["b", "a"], ["b", "a"]]
+        phrases = FrequentPhraseMiner(min_support=2, max_length=2).mine(docs)
+        lengths = [len(p.words) for p in phrases]
+        assert lengths == sorted(lengths)
+
+    def test_min_support_one_keeps_everything(self):
+        docs = [["unique", "tokens"]]
+        phrases = FrequentPhraseMiner(min_support=1, max_length=2).mine(docs)
+        assert ("unique", "tokens") in phrase_set(phrases, 2)
+
+
+class TestPhrase:
+    def test_text_joins_words(self):
+        assert Phrase(("gene", "expression"), 2, 0.5).text() == "gene expression"
+
+    def test_len(self):
+        assert len(Phrase(("a", "b", "c"), 1, 0.1)) == 3

@@ -1,0 +1,181 @@
+"""Unit tests for the Porter stemmer against published example outputs.
+
+The expected stems come from the examples in Porter's 1980 paper and the
+reference implementation's vocabulary/output sample.
+"""
+
+import pytest
+
+from repro.text.stem import PorterStemmer, stem
+
+
+@pytest.fixture(scope="module")
+def stemmer():
+    return PorterStemmer()
+
+
+class TestStep1:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+        ],
+    )
+    def test_step1a_plurals(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+        ],
+    )
+    def test_step1b_ed_ing(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+        ],
+    )
+    def test_step1b_cleanup(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+    @pytest.mark.parametrize(
+        "word,expected", [("happy", "happi"), ("sky", "sky")]
+    )
+    def test_step1c_y_to_i(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+
+class TestLaterSteps:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("hesitanci", "hesit"),
+            ("digitizer", "digit"),
+            ("conformabli", "conform"),
+            ("radicalli", "radic"),
+            ("differentli", "differ"),
+            ("vileli", "vile"),
+            ("analogousli", "analog"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("callousness", "callous"),
+            ("formaliti", "formal"),
+            ("sensitiviti", "sensit"),
+            ("sensibiliti", "sensibl"),
+        ],
+    )
+    def test_step2(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+        ],
+    )
+    def test_step3(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("gyroscopic", "gyroscop"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("homologou", "homolog"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+        ],
+    )
+    def test_step4(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ],
+    )
+    def test_step5(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+
+class TestGeneralBehaviour:
+    def test_short_words_unchanged(self, stemmer):
+        assert stemmer.stem("at") == "at"
+        assert stemmer.stem("by") == "by"
+
+    def test_non_alpha_unchanged(self, stemmer):
+        assert stemmer.stem("p53") == "p53"
+        assert stemmer.stem("brca1") == "brca1"
+
+    def test_lowercases_input(self, stemmer):
+        assert stemmer.stem("Relational") == "relat"
+
+    def test_module_level_helper(self):
+        assert stem("generalizations") == "gener"
+
+    def test_biomedical_vocabulary(self, stemmer):
+        # Words the synthetic corpus leans on heavily.
+        assert stemmer.stem("binding") == "bind"
+        assert stemmer.stem("transcription") == "transcript"
+        assert stemmer.stem("regulation") == "regul"
+        assert stemmer.stem("signaling") == "signal"
+
+    def test_idempotent_on_sample(self, stemmer):
+        for word in ["relational", "hopefulness", "motoring", "caresses", "happy"]:
+            once = stemmer.stem(word)
+            assert stemmer.stem(once) == stemmer.stem(once)
