@@ -14,6 +14,9 @@ from typing import Dict, List
 import numpy as np
 
 from repro.citations.graph import CitationGraph
+from repro.obs import get_logger, get_registry
+
+logger = get_logger(__name__)
 
 
 @dataclass
@@ -63,6 +66,7 @@ def hits_scores(
     hub = np.full(n, 1.0 / np.sqrt(n))
     iterations = 0
     converged = False
+    delta = float("inf")
     for iterations in range(1, max_iterations + 1):
         new_authority = np.array(
             [sum(hub[u] for u in sources) for sources in in_lists]
@@ -84,6 +88,20 @@ def hits_scores(
             converged = True
             break
 
+    registry = get_registry()
+    registry.counter("citations.hits.runs").inc()
+    registry.histogram("citations.hits.iterations").observe(iterations)
+    registry.histogram("citations.hits.graph_size").observe(n)
+    registry.gauge("citations.hits.residual").set(delta)
+    if not converged:
+        registry.counter("citations.hits.unconverged").inc()
+        logger.warning(
+            "hits hit the iteration cap without converging",
+            iterations=iterations,
+            delta=delta,
+            tolerance=tolerance,
+            nodes=n,
+        )
     return HitsResult(
         authorities={node: float(authority[index[node]]) for node in nodes},
         hubs={node: float(hub[index[node]]) for node in nodes},

@@ -31,6 +31,9 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.citations.graph import CitationGraph
+from repro.obs import get_logger, get_registry
+
+logger = get_logger(__name__)
 
 
 class TeleportKind(str, enum.Enum):
@@ -134,9 +137,27 @@ def pagerank(
             if residual < tolerance * max(p.sum(), 1.0):
                 break
 
+    converged = residual < tolerance * (
+        1.0 if teleport is TeleportKind.E2_UNIFORM else max(float(p.sum()), 1.0)
+    )
+    registry = get_registry()
+    registry.counter("citations.pagerank.runs").inc()
+    registry.histogram("citations.pagerank.iterations").observe(iterations)
+    registry.histogram("citations.pagerank.graph_size").observe(n)
+    registry.gauge("citations.pagerank.residual").set(residual)
+    if not converged:
+        registry.counter("citations.pagerank.unconverged").inc()
+        logger.warning(
+            "pagerank hit the iteration cap without converging",
+            iterations=iterations,
+            residual=residual,
+            tolerance=tolerance,
+            nodes=n,
+            teleport=teleport.value,
+        )
     return PageRankResult(
         scores={node: float(p[index[node]]) for node in nodes},
         iterations=iterations,
-        converged=residual < tolerance * (1.0 if teleport is TeleportKind.E2_UNIFORM else max(float(p.sum()), 1.0)),
+        converged=converged,
         residual=residual,
     )

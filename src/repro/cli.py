@@ -8,12 +8,22 @@ Subcommands mirror a deployment's life cycle:
 - ``repro evaluate``  -- run the accuracy/separability evaluation and
   print a summary;
 - ``repro precompute``-- build and persist context paper sets and
-  prestige scores (the paper's query-independent pre-processing).
+  prestige scores (the paper's query-independent pre-processing);
+- ``repro obs report`` -- render saved trace/metrics dumps as ASCII.
+
+Every subcommand additionally accepts the observability flags
+``--trace-out PATH`` (write the run's span tree as JSON lines),
+``--metrics-out PATH`` (write the metrics-registry snapshot as JSON),
+and ``--log-json`` (structured JSON-lines logging; equivalent to
+``REPRO_LOG_FORMAT=json``).  See ``docs/observability.md``.
 
 Example::
 
     repro generate --papers 1200 --terms 250 --out data/
     repro search --data data/ --query "dna repair kinase" --limit 10
+    repro search --data data/ --query "dna repair" --trace-out trace.jsonl \
+        --metrics-out metrics.json
+    repro obs report --trace trace.jsonl --metrics metrics.json
     repro evaluate --data data/ --queries 40
 """
 
@@ -29,6 +39,8 @@ from repro.core.io import write_context_paper_set, write_prestige_scores
 from repro.corpus import write_corpus_jsonl
 from repro.datagen import CorpusGenerator, OntologyGenerator
 from repro.eval.experiments import PrecisionExperiment, SeparabilityExperiment
+from repro.obs import configure_logging, get_registry, start_tracing, stop_tracing
+from repro.obs.report import render_report
 from repro.ontology import write_obo
 from repro.pipeline import Pipeline
 
@@ -246,14 +258,50 @@ def _cmd_precompute(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    """Render previously saved trace/metrics dumps as human-readable text."""
+    if not args.trace and not args.metrics:
+        print("error: pass --trace and/or --metrics", file=sys.stderr)
+        return 1
+    for path in (args.trace, args.metrics):
+        if path and not Path(path).exists():
+            print(f"error: {path} not found", file=sys.stderr)
+            return 1
+    print(render_report(trace_path=args.trace, metrics_path=args.metrics))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Context-based literature search (ICDE 2007 reproduction)",
     )
+    # Observability flags shared by every subcommand (argparse "parents"
+    # idiom keeps them out of each subparser's own declaration).
+    obs_common = argparse.ArgumentParser(add_help=False)
+    obs_group = obs_common.add_argument_group("observability")
+    obs_group.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's span tree as JSON lines to PATH",
+    )
+    obs_group.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the metrics-registry snapshot as JSON to PATH",
+    )
+    obs_group.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON-lines logs instead of plain text",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    generate = subparsers.add_parser("generate", help="synthesise a dataset")
+    generate = subparsers.add_parser(
+        "generate", help="synthesise a dataset", parents=[obs_common]
+    )
     generate.add_argument("--papers", type=int, default=1200)
     generate.add_argument("--terms", type=int, default=250)
     generate.add_argument("--max-depth", type=int, default=7)
@@ -267,7 +315,9 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--out", default="data")
     generate.set_defaults(func=_cmd_generate)
 
-    search = subparsers.add_parser("search", help="context-based search")
+    search = subparsers.add_parser(
+        "search", help="context-based search", parents=[obs_common]
+    )
     search.add_argument("--data", default="data")
     search.add_argument("--query", required=True)
     search.add_argument(
@@ -280,7 +330,9 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--threshold", type=float, default=0.0)
     search.set_defaults(func=_cmd_search)
 
-    evaluate = subparsers.add_parser("evaluate", help="run the evaluation")
+    evaluate = subparsers.add_parser(
+        "evaluate", help="run the evaluation", parents=[obs_common]
+    )
     evaluate.add_argument("--data", default="data")
     evaluate.add_argument("--queries", type=int, default=30)
     evaluate.add_argument(
@@ -291,13 +343,17 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.set_defaults(func=_cmd_evaluate)
 
     precompute = subparsers.add_parser(
-        "precompute", help="persist paper sets and prestige scores"
+        "precompute",
+        help="persist paper sets and prestige scores",
+        parents=[obs_common],
     )
     precompute.add_argument("--data", default="data")
     precompute.set_defaults(func=_cmd_precompute)
 
     tune = subparsers.add_parser(
-        "tune", help="calibrate relevancy weights against AC answer sets"
+        "tune",
+        help="calibrate relevancy weights against AC answer sets",
+        parents=[obs_common],
     )
     tune.add_argument("--data", default="data")
     tune.add_argument("--queries", type=int, default=20)
@@ -309,7 +365,9 @@ def build_parser() -> argparse.ArgumentParser:
     tune.set_defaults(func=_cmd_tune)
 
     ingest = subparsers.add_parser(
-        "ingest", help="build a data dir from MEDLINE XML + OBO + GAF"
+        "ingest",
+        help="build a data dir from MEDLINE XML + OBO + GAF",
+        parents=[obs_common],
     )
     ingest.add_argument("--medline", required=True, help="PubMed XML export")
     ingest.add_argument("--obo", required=True, help="Gene Ontology OBO file")
@@ -318,17 +376,54 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("--out", default="data")
     ingest.set_defaults(func=_cmd_ingest)
 
-    validate = subparsers.add_parser("validate", help="lint a corpus file")
+    validate = subparsers.add_parser(
+        "validate", help="lint a corpus file", parents=[obs_common]
+    )
     validate.add_argument("--data", default="data")
     validate.add_argument("--verbose", action="store_true")
     validate.set_defaults(func=_cmd_validate)
+
+    obs = subparsers.add_parser(
+        "obs", help="observability utilities (render saved dumps)"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report", help="render a trace/metrics dump as ASCII"
+    )
+    obs_report.add_argument(
+        "--trace", default=None, metavar="PATH", help="trace JSON-lines file"
+    )
+    obs_report.add_argument(
+        "--metrics", default=None, metavar="PATH", help="metrics JSON file"
+    )
+    obs_report.set_defaults(func=_cmd_obs_report)
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    configure_logging(json_format=True if getattr(args, "log_json", False) else None)
+    trace_out = getattr(args, "trace_out", None)
+    # Fail on an unwritable dump path before doing the actual work.
+    for path in (trace_out, getattr(args, "metrics_out", None)):
+        if path and not Path(path).resolve().parent.is_dir():
+            print(
+                f"error: directory of {path} does not exist", file=sys.stderr
+            )
+            return 2
+    tracer = start_tracing() if trace_out else None
+    try:
+        return args.func(args)
+    finally:
+        if tracer is not None:
+            stop_tracing()
+            tracer.write_jsonl(trace_out)
+        metrics_out = getattr(args, "metrics_out", None)
+        if metrics_out:
+            with open(metrics_out, "w", encoding="utf-8") as handle:
+                json.dump({"metrics": get_registry().snapshot()}, handle, indent=2)
+                handle.write("\n")
 
 
 if __name__ == "__main__":

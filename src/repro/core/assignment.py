@@ -15,7 +15,6 @@ scores.
 
 from __future__ import annotations
 
-import logging
 import time
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -30,9 +29,10 @@ from repro.core.representative import select_representative
 from repro.core.vectors import PaperVectorStore
 from repro.corpus.corpus import Corpus
 from repro.index.inverted import InvertedIndex
+from repro.obs import get_logger, get_registry, span
 from repro.ontology.ontology import Ontology
 
-logger = logging.getLogger(__name__)
+logger = get_logger(__name__)
 
 
 class TextContextAssigner:
@@ -71,32 +71,42 @@ class TextContextAssigner:
     def build(self, training_papers: Mapping[str, Sequence[str]]) -> ContextPaperSet:
         """Assign papers to every context that has training evidence."""
         started = time.perf_counter()
+        registry = get_registry()
         contexts: List[Context] = []
         self.representatives = {}
-        for term_id in self.ontology.term_ids():
-            training = [
-                pid for pid in training_papers.get(term_id, ()) if pid in self.corpus
-            ]
-            if not training:
-                continue
-            representative = select_representative(self.vectors, training)
-            if representative is None:
-                continue
-            self.representatives[term_id] = representative
-            members = self._assign_by_similarity(representative, training)
-            contexts.append(
-                Context(
-                    term_id=term_id,
-                    paper_ids=tuple(members),
-                    training_paper_ids=tuple(training),
+        with span(
+            "assignment.text.build", threshold=self.similarity_threshold
+        ) as trace, registry.timer("assignment.text.seconds"):
+            for term_id in self.ontology.term_ids():
+                training = [
+                    pid
+                    for pid in training_papers.get(term_id, ())
+                    if pid in self.corpus
+                ]
+                if not training:
+                    continue
+                representative = select_representative(self.vectors, training)
+                if representative is None:
+                    continue
+                self.representatives[term_id] = representative
+                members = self._assign_by_similarity(representative, training)
+                contexts.append(
+                    Context(
+                        term_id=term_id,
+                        paper_ids=tuple(members),
+                        training_paper_ids=tuple(training),
+                    )
                 )
-            )
+            papers_assigned = sum(len(c.paper_ids) for c in contexts)
+            trace.set(contexts=len(contexts), papers_assigned=papers_assigned)
+        registry.counter("assignment.text.contexts_built").inc(len(contexts))
+        registry.counter("assignment.text.papers_assigned").inc(papers_assigned)
         logger.info(
-            "text context paper set: %d contexts built in %.1fs "
-            "(threshold %.2f)",
-            len(contexts),
-            time.perf_counter() - started,
-            self.similarity_threshold,
+            "text context paper set built",
+            contexts=len(contexts),
+            papers_assigned=papers_assigned,
+            seconds=round(time.perf_counter() - started, 2),
+            threshold=self.similarity_threshold,
         )
         return ContextPaperSet(self.ontology, contexts)
 
@@ -167,55 +177,76 @@ class PatternContextAssigner:
     def build(self, training_papers: Mapping[str, Sequence[str]]) -> ContextPaperSet:
         """Match, roll up descendants, and apply ancestor fallback."""
         started = time.perf_counter()
-        own_matches: Dict[str, Set[str]] = {}
-        training_clean: Dict[str, List[str]] = {}
-        self.pattern_sets = {}
-        for term_id in self.ontology.term_ids():
-            training = [
-                pid for pid in training_papers.get(term_id, ()) if pid in self.corpus
-            ]
-            training_clean[term_id] = training
-            pattern_set = self.pattern_builder.build(term_id, training)
-            self.pattern_sets[term_id] = pattern_set
-            own_matches[term_id] = self._match_corpus(pattern_set)
-
-        # Descendant roll-up: a context's papers include its subtree's.
-        rolled: Dict[str, Set[str]] = {}
-        for term_id in self.ontology.term_ids():
-            papers = set(own_matches[term_id])
-            for descendant in self.ontology.descendants(term_id):
-                papers.update(own_matches[descendant])
-            rolled[term_id] = papers
-
-        contexts: List[Context] = []
-        for term_id in self.ontology.term_ids():
-            papers = rolled[term_id]
-            inherited_from: Optional[str] = None
-            decay = 1.0
-            if not papers:
-                ancestor = self._closest_nonempty_ancestor(term_id, rolled)
-                if ancestor is not None:
-                    papers = rolled[ancestor]
-                    inherited_from = ancestor
-                    decay = self.ontology.rate_of_decay(ancestor, term_id)
-            if not papers:
-                continue
-            contexts.append(
-                Context(
-                    term_id=term_id,
-                    paper_ids=tuple(sorted(papers)),
-                    training_paper_ids=tuple(training_clean[term_id]),
-                    inherited_from=inherited_from,
-                    decay=decay,
-                )
+        registry = get_registry()
+        with span("assignment.pattern.build") as trace, registry.timer(
+            "assignment.pattern.seconds"
+        ):
+            own_matches: Dict[str, Set[str]] = {}
+            training_clean: Dict[str, List[str]] = {}
+            self.pattern_sets = {}
+            with span("assignment.pattern.match") as match_trace:
+                for term_id in self.ontology.term_ids():
+                    training = [
+                        pid
+                        for pid in training_papers.get(term_id, ())
+                        if pid in self.corpus
+                    ]
+                    training_clean[term_id] = training
+                    pattern_set = self.pattern_builder.build(term_id, training)
+                    self.pattern_sets[term_id] = pattern_set
+                    own_matches[term_id] = self._match_corpus(pattern_set)
+                matched_total = sum(len(m) for m in own_matches.values())
+                match_trace.set(papers_matched=matched_total)
+            registry.counter("assignment.pattern.papers_matched").inc(
+                matched_total
             )
-        inherited = sum(1 for c in contexts if c.inherited_from is not None)
+
+            # Descendant roll-up: a context's papers include its subtree's.
+            rolled: Dict[str, Set[str]] = {}
+            for term_id in self.ontology.term_ids():
+                papers = set(own_matches[term_id])
+                for descendant in self.ontology.descendants(term_id):
+                    papers.update(own_matches[descendant])
+                rolled[term_id] = papers
+
+            contexts: List[Context] = []
+            for term_id in self.ontology.term_ids():
+                papers = rolled[term_id]
+                inherited_from: Optional[str] = None
+                decay = 1.0
+                if not papers:
+                    ancestor = self._closest_nonempty_ancestor(term_id, rolled)
+                    if ancestor is not None:
+                        papers = rolled[ancestor]
+                        inherited_from = ancestor
+                        decay = self.ontology.rate_of_decay(ancestor, term_id)
+                if not papers:
+                    continue
+                contexts.append(
+                    Context(
+                        term_id=term_id,
+                        paper_ids=tuple(sorted(papers)),
+                        training_paper_ids=tuple(training_clean[term_id]),
+                        inherited_from=inherited_from,
+                        decay=decay,
+                    )
+                )
+            inherited = sum(1 for c in contexts if c.inherited_from is not None)
+            papers_assigned = sum(len(c.paper_ids) for c in contexts)
+            trace.set(
+                contexts=len(contexts),
+                inherited=inherited,
+                papers_assigned=papers_assigned,
+            )
+        registry.counter("assignment.pattern.contexts_built").inc(len(contexts))
+        registry.counter("assignment.pattern.contexts_inherited").inc(inherited)
+        registry.counter("assignment.pattern.papers_assigned").inc(papers_assigned)
         logger.info(
-            "pattern context paper set: %d contexts (%d inherited) built "
-            "in %.1fs",
-            len(contexts),
-            inherited,
-            time.perf_counter() - started,
+            "pattern context paper set built",
+            contexts=len(contexts),
+            inherited=inherited,
+            papers_assigned=papers_assigned,
+            seconds=round(time.perf_counter() - started, 2),
         )
         return ContextPaperSet(self.ontology, contexts)
 

@@ -42,6 +42,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 from repro.corpus.corpus import Corpus
 from repro.corpus.paper import Section, TEXT_SECTIONS
 from repro.index.inverted import InvertedIndex
+from repro.obs import get_registry
 from repro.ontology.ontology import Ontology
 from repro.text.analyze import Analyzer, default_analyzer
 from repro.text.phrases import FrequentPhraseMiner
@@ -99,14 +100,21 @@ class AnalyzedPaperCache:
         self.corpus = corpus
         self.analyzer = analyzer if analyzer is not None else default_analyzer()
         self._cache: Dict[Tuple[str, Section], Terms] = {}
+        # Plain ints (not registry counters): tokens() is too hot for a
+        # lock per lookup.  score_paper_against_patterns flushes them.
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def tokens(self, paper_id: str, section: Section) -> Terms:
         key = (paper_id, section)
         cached = self._cache.get(key)
         if cached is None:
+            self.cache_misses += 1
             text = self.corpus.paper(paper_id).section_text(section)
             cached = tuple(self.analyzer.analyze(text))
             self._cache[key] = cached
+        else:
+            self.cache_hits += 1
         return cached
 
     def all_tokens(self, paper_id: str) -> Terms:
@@ -193,7 +201,7 @@ class PatternSetBuilder:
 
     def build(self, term_id: str, training_paper_ids: Sequence[str]) -> PatternSet:
         """Construct, join, and score the pattern set of one context."""
-        analyzer = self.tokens.analyzer
+        registry = get_registry()
         context_words = self._context_term_words(term_id)
         training_tokens = [
             self.tokens.all_tokens(pid) for pid in training_paper_ids
@@ -209,11 +217,17 @@ class PatternSetBuilder:
         patterns = self._score_regular(
             term_id, raw, context_words, significant, len(training_tokens)
         )
+        registry.counter("patterns.builder.mined").inc(len(patterns))
         patterns.sort(key=lambda p: (-p.score, p.key()))
         patterns = patterns[: self.max_regular_patterns]
         if self.build_extended:
             patterns.extend(self._side_joined(patterns))
             patterns.extend(self._middle_joined(patterns))
+        registry.counter("patterns.builder.kept").inc(len(patterns))
+        registry.gauge("patterns.tokens.cache_hits").set(self.tokens.cache_hits)
+        registry.gauge("patterns.tokens.cache_misses").set(
+            self.tokens.cache_misses
+        )
         return PatternSet(term_id=term_id, patterns=patterns)
 
     # -- significant terms -------------------------------------------------------

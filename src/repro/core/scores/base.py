@@ -18,9 +18,13 @@ This module provides:
 from __future__ import annotations
 
 import abc
+import re
 from typing import Dict, Mapping, Optional
 
 from repro.core.context import Context, ContextPaperSet
+from repro.obs import get_registry, span
+
+_METRIC_SEGMENT_SUB = re.compile(r"[^a-z0-9_]+")
 
 
 def min_max_normalize(scores: Mapping[str, float]) -> Dict[str, float]:
@@ -162,15 +166,30 @@ class PrestigeScoreFunction(abc.ABC):
                 f"unknown normalization {key!r}; expected one of "
                 f"{sorted(NORMALIZERS)}"
             ) from None
-        by_context: Dict[str, Dict[str, float]] = {}
-        for context in paper_set:
-            raw = self.score_context(context)
-            if not raw:
-                continue
-            scored = normalizer(raw)
-            if context.decay != 1.0:
-                scored = {pid: s * context.decay for pid, s in scored.items()}
-            by_context[context.term_id] = scored
-        if propagate:
-            by_context = propagate_max_over_descendants(paper_set, by_context)
+        registry = get_registry()
+        # Score-function names are free-form ("citation-xctx"); fold them
+        # into one valid metric segment so the dotted convention holds.
+        metric_name = (
+            _METRIC_SEGMENT_SUB.sub("_", self.name.lower()).lstrip("_0123456789")
+            or "unnamed"
+        )
+        with span(
+            f"scores.{metric_name}.score_all", normalize=key
+        ) as trace, registry.timer(f"scores.{metric_name}.seconds"):
+            by_context: Dict[str, Dict[str, float]] = {}
+            papers_scored = 0
+            for context in paper_set:
+                raw = self.score_context(context)
+                if not raw:
+                    continue
+                papers_scored += len(raw)
+                scored = normalizer(raw)
+                if context.decay != 1.0:
+                    scored = {pid: s * context.decay for pid, s in scored.items()}
+                by_context[context.term_id] = scored
+            if propagate:
+                by_context = propagate_max_over_descendants(paper_set, by_context)
+            trace.set(contexts_scored=len(by_context), papers_scored=papers_scored)
+        registry.counter(f"scores.{metric_name}.contexts_scored").inc(len(by_context))
+        registry.counter(f"scores.{metric_name}.papers_scored").inc(papers_scored)
         return PrestigeScores(self.name, by_context)

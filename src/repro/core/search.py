@@ -23,6 +23,7 @@ from repro.core.context import ContextPaperSet
 from repro.core.scores.base import PrestigeScores
 from repro.core.vectors import PaperVectorStore
 from repro.index.search import KeywordSearchEngine
+from repro.obs import get_registry, span
 from repro.ontology.ontology import Ontology
 
 #: Available context-selection strategies (task 3 of the paradigm):
@@ -136,11 +137,18 @@ class ContextSearchEngine:
         self, query: str, max_contexts: int = 5
     ) -> List[ContextSelection]:
         """Rank contexts for the query with the configured strategy."""
-        if self.selection_strategy == "name":
-            return self._select_by_name(query, max_contexts)
-        if self.selection_strategy == "representative":
-            return self._select_by_representative(query, max_contexts)
-        return self._select_by_probe(query, max_contexts)
+        with span("search.select", strategy=self.selection_strategy) as trace:
+            if self.selection_strategy == "name":
+                selections = self._select_by_name(query, max_contexts)
+            elif self.selection_strategy == "representative":
+                selections = self._select_by_representative(query, max_contexts)
+            else:
+                selections = self._select_by_probe(query, max_contexts)
+            trace.set(probed=len(self.paper_set), selected=len(selections))
+        registry = get_registry()
+        registry.counter("search.context.contexts_probed").inc(len(self.paper_set))
+        registry.counter("search.context.contexts_selected").inc(len(selections))
+        return selections
 
     def _select_by_probe(
         self, query: str, max_contexts: int
@@ -237,45 +245,73 @@ class ContextSearchEngine:
         ``contexts`` overrides automatic selection (used by experiments
         that fix the context of interest).
         """
-        if contexts is None:
-            selected = [s.context_id for s in self.select_contexts(query, max_contexts)]
-        else:
-            selected = [cid for cid in contexts if cid in self.paper_set]
-        if not selected:
-            return []
-        match_scores = {
-            hit.paper_id: hit.score
-            for hit in self.keyword_engine.search(query)
-        }
-        best: Dict[str, SearchHit] = {}
-        for context_id in selected:
-            context = self.paper_set.context(context_id)
-            context_prestige = self.prestige.of(context_id)
-            for paper_id in context.paper_ids:
-                matching = match_scores.get(paper_id, 0.0)
-                if matching == 0.0:
-                    # A paper with no textual response to the query is not
-                    # a search result, however prestigious.
-                    continue
-                prestige = context_prestige.get(paper_id, 0.0)
-                relevancy = (
-                    self.w_prestige * prestige + self.w_matching * matching
+        with span("search.run", query=query, threshold=threshold) as trace:
+            if contexts is None:
+                selected = [
+                    s.context_id for s in self.select_contexts(query, max_contexts)
+                ]
+            else:
+                selected = [cid for cid in contexts if cid in self.paper_set]
+            if not selected:
+                trace.set(selected=0, hits=0)
+                return []
+            registry = get_registry()
+            papers_scored = 0
+            papers_dropped = 0
+            merge_deduped = 0
+            best: Dict[str, SearchHit] = {}
+            with span("search.score", contexts=len(selected)) as score_trace:
+                match_scores = {
+                    hit.paper_id: hit.score
+                    for hit in self.keyword_engine.search(query)
+                }
+                for context_id in selected:
+                    context = self.paper_set.context(context_id)
+                    context_prestige = self.prestige.of(context_id)
+                    for paper_id in context.paper_ids:
+                        matching = match_scores.get(paper_id, 0.0)
+                        if matching == 0.0:
+                            # A paper with no textual response to the query is
+                            # not a search result, however prestigious.
+                            continue
+                        papers_scored += 1
+                        prestige = context_prestige.get(paper_id, 0.0)
+                        relevancy = (
+                            self.w_prestige * prestige + self.w_matching * matching
+                        )
+                        if relevancy < threshold:
+                            papers_dropped += 1
+                            continue
+                        current = best.get(paper_id)
+                        if current is not None:
+                            # Merge step: a paper already seen through an
+                            # earlier context keeps its best relevancy.
+                            merge_deduped += 1
+                            if relevancy <= current.relevancy:
+                                continue
+                        best[paper_id] = SearchHit(
+                            paper_id=paper_id,
+                            context_id=context_id,
+                            relevancy=relevancy,
+                            prestige=prestige,
+                            matching=matching,
+                        )
+                score_trace.set(
+                    papers_scored=papers_scored, papers_dropped=papers_dropped
                 )
-                if relevancy < threshold:
-                    continue
-                current = best.get(paper_id)
-                if current is None or relevancy > current.relevancy:
-                    best[paper_id] = SearchHit(
-                        paper_id=paper_id,
-                        context_id=context_id,
-                        relevancy=relevancy,
-                        prestige=prestige,
-                        matching=matching,
-                    )
-        hits = sorted(best.values(), key=lambda h: (-h.relevancy, h.paper_id))
-        if limit is not None:
-            hits = hits[:limit]
-        return hits
+            with span("search.merge") as merge_trace:
+                hits = sorted(
+                    best.values(), key=lambda h: (-h.relevancy, h.paper_id)
+                )
+                if limit is not None:
+                    hits = hits[:limit]
+                merge_trace.set(deduped=merge_deduped, hits=len(hits))
+            trace.set(hits=len(hits))
+            registry.counter("search.context.queries").inc()
+            registry.counter("search.context.papers_scored").inc(papers_scored)
+            registry.counter("search.context.papers_dropped").inc(papers_dropped)
+            registry.counter("search.context.merge_deduped").inc(merge_deduped)
+            return hits
 
     def search_grouped(
         self,

@@ -21,6 +21,7 @@ from repro.eval.metrics import (
     separability_sd,
     topk_overlap,
 )
+from repro.obs import get_registry, span
 from repro.pipeline import Pipeline
 
 
@@ -93,6 +94,12 @@ class PrecisionExperiment:
         self, function: str, paper_set_name: str
     ) -> PrecisionCurve:
         """Precision curve of one (score function, paper set) arm."""
+        with span(
+            "eval.precision.run", function=function, paper_set=paper_set_name
+        ), get_registry().timer("eval.precision.seconds"):
+            return self._run(function, paper_set_name)
+
+    def _run(self, function: str, paper_set_name: str) -> PrecisionCurve:
         engine = self.pipeline.search_engine(function, paper_set_name)
         per_threshold: List[List[float]] = [[] for _ in self.thresholds]
         empties = [0] * len(self.thresholds)
@@ -190,6 +197,12 @@ class BaselineComparisonExperiment:
         )
 
     def run(self) -> BaselineComparison:
+        with span(
+            "eval.baseline.run", function=self.function
+        ), get_registry().timer("eval.baseline.seconds"):
+            return self._run()
+
+    def _run(self) -> BaselineComparison:
         from repro.eval.metrics import precision as precision_metric
 
         engine = self.pipeline.search_engine(self.function, self.paper_set_name)
@@ -272,6 +285,15 @@ class OverlapExperiment:
         scores_a: PrestigeScores,
         scores_b: PrestigeScores,
     ) -> OverlapSeries:
+        with span(
+            "eval.overlap.run",
+            pair=f"{scores_a.function_name}-{scores_b.function_name}",
+        ), get_registry().timer("eval.overlap.seconds"):
+            return self._run(scores_a, scores_b)
+
+    def _run(
+        self, scores_a: PrestigeScores, scores_b: PrestigeScores
+    ) -> OverlapSeries:
         values: List[List[Optional[float]]] = []
         counted: List[int] = []
         for level in self.levels:
@@ -353,6 +375,12 @@ class SeparabilityExperiment:
         self.n_ranges = n_ranges
 
     def run(self, scores: PrestigeScores) -> SeparabilityResult:
+        with span(
+            "eval.separability.run", function=scores.function_name
+        ), get_registry().timer("eval.separability.seconds"):
+            return self._run(scores)
+
+    def _run(self, scores: PrestigeScores) -> SeparabilityResult:
         sd_by_context: Dict[str, float] = {}
         for context in self.paper_set:
             context_scores = scores.of(context.term_id)

@@ -26,6 +26,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.corpus.corpus import Corpus
 from repro.corpus.paper import Section
 from repro.index.inverted import InvertedIndex
+from repro.obs import get_registry
 
 _PHRASE_RE = re.compile(r'"([^"]*)"')
 
@@ -85,6 +86,7 @@ class KeywordSearchEngine:
         self.b = b
         self._section_lengths: Optional[Dict[Tuple[str, Section], int]] = None
         self._avg_section_length: Optional[Dict[Section, float]] = None
+        self._lengths_cache_hits = 0
 
     # -- ranked retrieval ----------------------------------------------------------
 
@@ -114,17 +116,26 @@ class KeywordSearchEngine:
             return []
         scores: Dict[str, float] = {}
         matches: Dict[str, set] = {}
+        postings_scanned = 0
         for term in distinct_terms:
             idf = self._idf(term)
             if idf == 0.0:
                 continue
             for posting in self.index.postings(term):
+                postings_scanned += 1
                 weight = self.section_weights.get(posting.section, 1.0)
                 tf_component = self._tf_component(posting)
                 scores[posting.paper_id] = scores.get(posting.paper_id, 0.0) + (
                     weight * tf_component * idf
                 )
                 matches.setdefault(posting.paper_id, set()).add(term)
+        registry = get_registry()
+        registry.counter("index.keyword.queries").inc()
+        registry.counter("index.keyword.postings_scanned").inc(postings_scanned)
+        if self._lengths_cache_hits:
+            registry.gauge("index.keyword.lengths_cache_hits").set(
+                self._lengths_cache_hits
+            )
 
         allowed = self._phrase_filter(phrases)
         max_score = self._max_possible_score(distinct_terms)
@@ -208,6 +219,10 @@ class KeywordSearchEngine:
         ):
             self._section_lengths = None
             self._avg_section_length = None
+        if self._section_lengths is not None:
+            # Plain int, not a registry counter: this runs once per posting
+            # under BM25.  search() flushes it to a gauge per query.
+            self._lengths_cache_hits += 1
         if self._section_lengths is None:
             lengths: Dict[Tuple[str, Section], int] = {}
             totals: Dict[Section, int] = {}

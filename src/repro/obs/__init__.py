@@ -1,0 +1,65 @@
+"""Observability: metrics registry, tracing spans, structured logging.
+
+The cross-cutting layer every stage of the pipeline records into:
+
+- :mod:`repro.obs.metrics` -- process-wide :class:`MetricsRegistry` with
+  counters, gauges, histograms (p50/p95/p99), and monotonic timers;
+- :mod:`repro.obs.trace` -- hierarchical ``span()`` trees with JSON-lines
+  and ASCII-tree export, no-op while tracing is inactive;
+- :mod:`repro.obs.logs` -- structured loggers emitting plain text or JSON
+  lines (``REPRO_LOG_FORMAT=json`` / ``repro ... --log-json``);
+- :mod:`repro.obs.report` -- renders saved dumps (``repro obs report``).
+
+Stdlib only, no hard dependencies; disabled-by-default tracing keeps the
+instrumented hot paths at their uninstrumented speed.  Metric and span
+names follow the ``stage.component.metric`` convention documented in
+``docs/observability.md`` and linted by ``tools/check_metric_names.py``.
+"""
+
+from repro.obs.logs import ObsLogger, configure_logging, get_logger
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    METRIC_NAME_RE,
+    MetricsRegistry,
+    get_registry,
+    reset_registry,
+    validate_metric_name,
+)
+from repro.obs.report import render_metrics, render_report, render_trace
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    current_tracer,
+    read_trace_jsonl,
+    span,
+    start_tracing,
+    stop_tracing,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "METRIC_NAME_RE",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "ObsLogger",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "current_tracer",
+    "get_logger",
+    "get_registry",
+    "read_trace_jsonl",
+    "render_metrics",
+    "render_report",
+    "render_trace",
+    "reset_registry",
+    "span",
+    "start_tracing",
+    "stop_tracing",
+    "validate_metric_name",
+]

@@ -1,0 +1,122 @@
+"""Structured logging: one wrapper, two wire formats.
+
+:func:`get_logger` returns an :class:`ObsLogger` whose methods take an
+*event* string plus keyword fields::
+
+    logger = get_logger(__name__)
+    logger.warning("pagerank hit iteration cap", iterations=200, residual=3e-9)
+
+The emitted line is either plain text::
+
+    WARNING repro.citations.pagerank: pagerank hit iteration cap iterations=200 residual=3e-09
+
+or a JSON object per line (machine-readable)::
+
+    {"level": "warning", "logger": "repro.citations.pagerank", "event": "...", "iterations": 200, ...}
+
+The format is chosen by (highest precedence first): an explicit
+``configure_logging(json_format=...)`` call (the CLI's ``--log-json``
+flag), the ``REPRO_LOG_FORMAT`` environment variable (``json`` or
+``text``), else plain text.  Everything funnels through the stdlib
+``logging`` tree under the ``"repro"`` root, so applications embedding
+the library can silence or redirect it the usual way.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+from typing import Any, Dict, Optional
+
+ROOT_LOGGER_NAME = "repro"
+ENV_LOG_FORMAT = "REPRO_LOG_FORMAT"
+
+_FIELDS_ATTR = "obs_fields"
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per record; structured fields inline."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": round(record.created, 3),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        payload.update(getattr(record, _FIELDS_ATTR, None) or {})
+        return json.dumps(payload, sort_keys=False, default=str)
+
+
+class TextLineFormatter(logging.Formatter):
+    """``LEVEL logger: event key=value ...`` -- grep-friendly plain text."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        fields = getattr(record, _FIELDS_ATTR, None) or {}
+        suffix = "".join(f" {key}={value}" for key, value in fields.items())
+        return f"{record.levelname} {record.name}: {record.getMessage()}{suffix}"
+
+
+def _env_wants_json() -> bool:
+    return os.environ.get(ENV_LOG_FORMAT, "").strip().lower() == "json"
+
+
+def configure_logging(
+    json_format: Optional[bool] = None,
+    level: int = logging.INFO,
+    stream=None,
+) -> logging.Logger:
+    """(Re)install the repro log handler with the chosen format.
+
+    ``json_format=None`` defers to ``REPRO_LOG_FORMAT``.  Safe to call
+    repeatedly -- the previously installed obs handler is replaced, not
+    stacked.
+    """
+    use_json = _env_wants_json() if json_format is None else json_format
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, "_obs_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler._obs_handler = True  # type: ignore[attr-defined]
+    handler.setFormatter(JsonLineFormatter() if use_json else TextLineFormatter())
+    root.addHandler(handler)
+    root.setLevel(level)
+    return root
+
+
+class ObsLogger:
+    """Thin structured facade over one stdlib logger."""
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    def _log(self, level: int, event: str, fields: Dict[str, Any]) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger.log(level, event, extra={_FIELDS_ATTR: fields})
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self._log(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._log(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self._log(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self._log(logging.ERROR, event, fields)
+
+
+def get_logger(name: str) -> ObsLogger:
+    """A structured logger under the ``repro`` logging tree.
+
+    ``name`` is typically ``__name__``; names outside the tree are
+    re-rooted (``"benchmarks.x"`` becomes ``"repro.benchmarks.x"``) so
+    one handler covers everything.
+    """
+    if name != ROOT_LOGGER_NAME and not name.startswith(ROOT_LOGGER_NAME + "."):
+        name = f"{ROOT_LOGGER_NAME}.{name}"
+    return ObsLogger(logging.getLogger(name))

@@ -1,0 +1,136 @@
+"""ASCII rendering of saved trace / metrics dumps (``repro obs report``).
+
+Consumes the artefacts the CLI writes -- ``--trace-out`` JSON-lines span
+trees and ``--metrics-out`` registry snapshots -- and renders the summary
+tables a human reads after a run.  Pure functions over plain dicts, so
+the renderer works on dumps from any process (or any PR ago).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+
+def load_metrics(path) -> Dict[str, Any]:
+    """Read a ``--metrics-out`` dump; returns the snapshot dict."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    # The CLI wraps the snapshot under "metrics"; accept both shapes.
+    return payload.get("metrics", payload)
+
+
+def _format_value(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_metrics(snapshot: Dict[str, Any]) -> str:
+    """Counters, gauges, and histogram summaries as aligned tables."""
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    if counters:
+        lines.append("counters")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {counters[name]}")
+    if gauges:
+        if lines:
+            lines.append("")
+        lines.append("gauges")
+        width = max(len(name) for name in gauges)
+        for name in sorted(gauges):
+            lines.append(f"  {name:<{width}}  {_format_value(gauges[name])}")
+    if histograms:
+        if lines:
+            lines.append("")
+        lines.append("histograms")
+        width = max(len(name) for name in histograms)
+        header = (
+            f"  {'name':<{width}}  {'count':>7}  {'mean':>10}  {'p50':>10}  "
+            f"{'p95':>10}  {'p99':>10}  {'max':>10}"
+        )
+        lines.append(header)
+        for name in sorted(histograms):
+            summary = histograms[name]
+            lines.append(
+                f"  {name:<{width}}  {summary.get('count', 0):>7}  "
+                f"{_format_value(summary.get('mean')):>10}  "
+                f"{_format_value(summary.get('p50')):>10}  "
+                f"{_format_value(summary.get('p95')):>10}  "
+                f"{_format_value(summary.get('p99')):>10}  "
+                f"{_format_value(summary.get('max')):>10}"
+            )
+    return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+def _render_span(
+    node: Dict[str, Any], prefix: str, is_last: bool, lines: List[str]
+) -> None:
+    connector = "`- " if is_last else "|- "
+    attrs = node.get("attrs") or {}
+    attr_text = "".join(f"  {key}={value}" for key, value in attrs.items())
+    lines.append(
+        f"{prefix}{connector}{node['name']}  "
+        f"{node.get('duration_ms', 0.0):.3f}ms{attr_text}"
+    )
+    children = node.get("children", ())
+    child_prefix = prefix + ("   " if is_last else "|  ")
+    for i, child in enumerate(children):
+        _render_span(child, child_prefix, i == len(children) - 1, lines)
+
+
+def render_trace(roots: List[Dict[str, Any]]) -> str:
+    """The span forest as an indented ASCII tree, one line per span."""
+    if not roots:
+        return "(no spans recorded)"
+    lines: List[str] = []
+    for root in roots:
+        attrs = root.get("attrs") or {}
+        attr_text = "".join(f"  {key}={value}" for key, value in attrs.items())
+        lines.append(
+            f"{root['name']}  {root.get('duration_ms', 0.0):.3f}ms{attr_text}"
+        )
+        children = root.get("children", ())
+        for i, child in enumerate(children):
+            _render_span(child, "", i == len(children) - 1, lines)
+    return "\n".join(lines)
+
+
+def render_report(
+    trace_path=None, metrics_path=None
+) -> str:
+    """The full ``repro obs report`` output for the given dump files."""
+    from repro.obs.trace import read_trace_jsonl
+
+    sections: List[str] = []
+    if trace_path is not None:
+        roots = read_trace_jsonl(trace_path)
+        n_spans = _count_spans(roots)
+        sections.append(
+            f"== trace: {trace_path} ({len(roots)} root spans, "
+            f"{n_spans} total) ==\n" + render_trace(roots)
+        )
+    if metrics_path is not None:
+        snapshot = load_metrics(metrics_path)
+        sections.append(
+            f"== metrics: {metrics_path} ==\n" + render_metrics(snapshot)
+        )
+    if not sections:
+        return "nothing to report (pass --trace and/or --metrics)"
+    return "\n\n".join(sections)
+
+
+def _count_spans(roots: List[Dict[str, Any]]) -> int:
+    total = 0
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        total += 1
+        stack.extend(node.get("children", ()))
+    return total

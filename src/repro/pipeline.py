@@ -34,6 +34,7 @@ from repro.datagen.corpus_gen import CorpusGenerator, GeneratedDataset
 from repro.datagen.ontology_gen import OntologyGenerator
 from repro.index.inverted import InvertedIndex
 from repro.index.search import KeywordSearchEngine
+from repro.obs import get_registry, span
 from repro.ontology.ontology import Ontology
 
 
@@ -254,6 +255,13 @@ class Pipeline:
         key = f"{function}/{paper_set_name}"
         if key in self._scores:
             return self._scores[key]
+        with span("pipeline.prestige", function=function, paper_set=paper_set_name):
+            return self._compute_prestige(function, paper_set_name, key)
+
+    def _compute_prestige(
+        self, function: str, paper_set_name: str, key: str
+    ) -> PrestigeScores:
+        get_registry().counter("pipeline.prestige.computed").inc()
         paper_set = (
             self.text_paper_set if paper_set_name == "text" else self.pattern_paper_set
         )
@@ -307,8 +315,14 @@ class Pipeline:
         threshold: float = 0.0,
     ) -> List[SearchHit]:
         """One-call context-based search with sensible defaults."""
-        engine = self.search_engine(function, paper_set_name)
-        return engine.search(query, threshold=threshold, limit=limit)
+        with span(
+            "pipeline.search",
+            query=query,
+            function=function,
+            paper_set=paper_set_name,
+        ):
+            engine = self.search_engine(function, paper_set_name)
+            return engine.search(query, threshold=threshold, limit=limit)
 
     # -- experiment views ----------------------------------------------------------------
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Set, Tuple
 
+from repro.obs import get_registry
 from repro.text.tokenize import ngrams
 
 
@@ -80,6 +81,7 @@ class FrequentPhraseMiner:
             return []
         phrases: List[Phrase] = []
         # Level 1: frequent single tokens.
+        rounds = 1
         frequent_previous = self._count_level(documents, 1, allowed_prefixes=None)
         phrases.extend(self._to_phrases(frequent_previous, n_documents))
         for length in range(2, self.max_length + 1):
@@ -87,10 +89,14 @@ class FrequentPhraseMiner:
                 break
             # Apriori pruning: a phrase of length n can only be frequent if
             # both its (n-1)-prefix and (n-1)-suffix are frequent.
+            rounds += 1
             allowed = set(frequent_previous)
             counts = self._count_level(documents, length, allowed_prefixes=allowed)
             frequent_previous = counts
             phrases.extend(self._to_phrases(counts, n_documents))
+        registry = get_registry()
+        registry.histogram("patterns.miner.apriori_rounds").observe(rounds)
+        registry.counter("patterns.miner.phrases_mined").inc(len(phrases))
         phrases.sort(key=lambda p: (len(p.words), p.words))
         return phrases
 

@@ -1,0 +1,219 @@
+"""Tracing spans: nesting, attributes, JSON-lines round-trip, ASCII tree.
+
+Also covers the disabled fast path (no active tracer -> shared no-op
+span) and the structured-logging formats, since logs and traces share
+the observability contract documented in docs/observability.md.
+"""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN,
+    configure_logging,
+    current_tracer,
+    get_logger,
+    read_trace_jsonl,
+    span,
+    start_tracing,
+    stop_tracing,
+)
+from repro.obs.report import render_report, render_trace
+from repro.obs.trace import Span
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_tracer():
+    stop_tracing()
+    yield
+    stop_tracing()
+
+
+class TestSpanNesting:
+    def test_parent_child_structure(self):
+        tracer = start_tracing()
+        with span("search.run", query="q") as run:
+            with span("search.select") as select:
+                select.set(probed=10)
+            with span("search.score"):
+                pass
+            run.set(hits=3)
+        stop_tracing()
+        assert len(tracer.roots) == 1
+        root = tracer.roots[0]
+        assert root.name == "search.run"
+        assert root.attrs == {"query": "q", "hits": 3}
+        assert [child.name for child in root.children] == [
+            "search.select", "search.score"
+        ]
+        assert root.children[0].attrs == {"probed": 10}
+
+    def test_sibling_roots(self):
+        tracer = start_tracing()
+        with span("stage.one.run"):
+            pass
+        with span("stage.two.run"):
+            pass
+        stop_tracing()
+        assert [root.name for root in tracer.roots] == [
+            "stage.one.run", "stage.two.run"
+        ]
+
+    def test_durations_nonnegative_and_nested(self):
+        tracer = start_tracing()
+        with span("outer.stage.run"):
+            with span("inner.stage.run"):
+                pass
+        stop_tracing()
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert outer.duration >= inner.duration >= 0.0
+
+    def test_exception_sets_error_attr_and_propagates(self):
+        tracer = start_tracing()
+        with pytest.raises(RuntimeError, match="boom"):
+            with span("search.run"):
+                raise RuntimeError("boom")
+        stop_tracing()
+        assert tracer.roots[0].attrs["error"] == "RuntimeError: boom"
+
+    def test_decorator_form(self):
+        @span("eval.decorated.run")
+        def work(x):
+            return x + 1
+
+        tracer = start_tracing()
+        assert work(1) == 2
+        assert work(2) == 3
+        stop_tracing()
+        assert [root.name for root in tracer.roots] == [
+            "eval.decorated.run", "eval.decorated.run"
+        ]
+
+
+class TestDisabledFastPath:
+    def test_span_yields_null_span_without_tracer(self):
+        assert current_tracer() is None
+        with span("search.run", query="q") as handle:
+            assert handle is NULL_SPAN
+            handle.set(anything="goes")  # must be a silent no-op
+
+    def test_stop_tracing_returns_active_tracer(self):
+        tracer = start_tracing()
+        assert stop_tracing() is tracer
+        assert stop_tracing() is None
+
+
+class TestSerialisation:
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = start_tracing()
+        with span("search.run", query="dna repair"):
+            with span("search.select", strategy="probe"):
+                pass
+        with span("eval.other.run"):
+            pass
+        stop_tracing()
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(path)
+
+        lines = path.read_text(encoding="utf-8").strip().splitlines()
+        assert len(lines) == 2  # one root per line
+        roots = read_trace_jsonl(path)
+        assert roots[0]["name"] == "search.run"
+        assert roots[0]["attrs"] == {"query": "dna repair"}
+        assert roots[0]["children"][0]["name"] == "search.select"
+        assert roots[0]["duration_ms"] >= 0.0
+        assert roots[1] == json.loads(lines[1])
+
+    def test_span_from_dict_rebuilds_tree(self):
+        node = Span("a.b.c", {"k": 1})
+        node.finish()
+        rebuilt = Span.from_dict(node.to_dict())
+        assert rebuilt.name == "a.b.c"
+        assert rebuilt.attrs == {"k": 1}
+        assert rebuilt.duration == pytest.approx(node.duration, abs=1e-3)
+
+
+class TestAsciiTree:
+    def test_tree_connectors_and_attrs(self):
+        roots = [
+            {
+                "name": "search.run",
+                "duration_ms": 5.0,
+                "attrs": {"query": "q"},
+                "children": [
+                    {"name": "search.select", "duration_ms": 1.0, "attrs": {},
+                     "children": []},
+                    {"name": "search.merge", "duration_ms": 2.0,
+                     "attrs": {"hits": 3}, "children": []},
+                ],
+            }
+        ]
+        tree = render_trace(roots)
+        lines = tree.splitlines()
+        assert lines[0] == "search.run  5.000ms  query=q"
+        assert lines[1] == "|- search.select  1.000ms"
+        assert lines[2] == "`- search.merge  2.000ms  hits=3"
+
+    def test_empty_trace(self):
+        assert render_trace([]) == "(no spans recorded)"
+
+    def test_render_report_combines_sections(self, tmp_path):
+        tracer = start_tracing()
+        with span("search.run"):
+            pass
+        stop_tracing()
+        trace_path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(trace_path)
+        metrics_path = tmp_path / "metrics.json"
+        metrics_path.write_text(
+            json.dumps({"metrics": {"counters": {"a.b.c": 4}}}),
+            encoding="utf-8",
+        )
+        report = render_report(trace_path=trace_path, metrics_path=metrics_path)
+        assert "== trace:" in report
+        assert "search.run" in report
+        assert "== metrics:" in report
+        assert "a.b.c" in report
+
+
+class TestStructuredLogging:
+    def _capture(self, json_format):
+        stream = io.StringIO()
+        configure_logging(json_format=json_format, stream=stream)
+        return stream
+
+    def teardown_method(self):
+        # Leave the default (text, stderr) configuration behind.
+        configure_logging(json_format=False)
+
+    def test_text_format(self):
+        stream = self._capture(json_format=False)
+        get_logger("repro.test").warning("cap hit", iterations=200)
+        line = stream.getvalue().strip()
+        assert line == "WARNING repro.test: cap hit iterations=200"
+
+    def test_json_format(self):
+        stream = self._capture(json_format=True)
+        get_logger("test_module").info("built", contexts=38, seconds=0.1)
+        payload = json.loads(stream.getvalue().strip())
+        assert payload["level"] == "info"
+        assert payload["logger"] == "repro.test_module"  # re-rooted
+        assert payload["event"] == "built"
+        assert payload["contexts"] == 38
+        assert payload["seconds"] == 0.1
+
+    def test_reconfigure_replaces_handler(self):
+        self._capture(json_format=False)
+        stream = self._capture(json_format=True)
+        get_logger("repro.test").info("once")
+        # One handler only: exactly one line emitted.
+        assert len(stream.getvalue().strip().splitlines()) == 1
+        root = logging.getLogger("repro")
+        obs_handlers = [
+            h for h in root.handlers if getattr(h, "_obs_handler", False)
+        ]
+        assert len(obs_handlers) == 1

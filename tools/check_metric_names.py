@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Lint metric-name literals against the stage.component.metric convention.
+
+Scans every Python file under src/, benchmarks/, and tests/ for registry
+calls -- ``counter("...")``, ``gauge("...")``, ``histogram("...")``,
+``timer("...")`` -- and checks the name literal has at least three
+dot-separated lowercase segments (``^[a-z][a-z0-9_]*(\\.[a-z][a-z0-9_]*){2,}$``).
+An f-string placeholder (``scores.{self.name}.seconds``) counts as one
+wildcard segment, so dynamic families stay lintable.
+
+Exit status 1 when any violation is found; intended for tools/ci.sh.
+The runtime enforces the same rule (repro.obs.metrics.validate_metric_name)
+-- this lint just fails earlier, without executing the code path.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCAN_DIRS = ("src", "benchmarks", "tests")
+
+#: counter("name") / gauge(f"...") / histogram('...') / timer("...")
+CALL_RE = re.compile(
+    r"\b(?:counter|gauge|histogram|timer)\(\s*(f?)([\"'])((?:[^\"'\\]|\\.)*?)\2"
+)
+#: One literal segment of a metric name.
+SEGMENT_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+#: An f-string placeholder (may itself contain dots: ``{self.name}``).
+PLACEHOLDER_RE = re.compile(r"\{[^{}]+\}")
+_WILDCARD = "\x00"
+
+#: Files whose *test fixtures* intentionally contain invalid names.
+EXEMPT = {"tests/test_obs_metrics.py", "tests/test_obs_trace.py"}
+
+
+def check_name(name: str, is_fstring: bool) -> bool:
+    """True when the name follows the convention (placeholders wildcard)."""
+    if is_fstring:
+        # Collapse each {expr} to an opaque wildcard before splitting, so a
+        # dotted expression inside the braces doesn't create fake segments.
+        name = PLACEHOLDER_RE.sub(_WILDCARD, name)
+    segments = name.split(".")
+    if len(segments) < 3:
+        return False
+    for segment in segments:
+        if is_fstring and segment == _WILDCARD:
+            continue
+        if not SEGMENT_RE.match(segment):
+            return False
+    return True
+
+
+def scan_file(path: Path) -> list:
+    violations = []
+    text = path.read_text(encoding="utf-8")
+    for match in CALL_RE.finditer(text):
+        is_fstring, name = bool(match.group(1)), match.group(3)
+        if not check_name(name, is_fstring):
+            line = text.count("\n", 0, match.start()) + 1
+            violations.append((path, line, name))
+    return violations
+
+
+def main() -> int:
+    violations = []
+    for directory in SCAN_DIRS:
+        root = REPO_ROOT / directory
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*.py")):
+            if str(path.relative_to(REPO_ROOT)) in EXEMPT:
+                continue
+            violations.extend(scan_file(path))
+    if violations:
+        print("metric-name convention violations (need stage.component.metric):")
+        for path, line, name in violations:
+            print(f"  {path.relative_to(REPO_ROOT)}:{line}: {name!r}")
+        return 1
+    print("check_metric_names: all metric names follow stage.component.metric")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Local CI: static lints + the tier-1 test suite.
+#
+#   tools/ci.sh            run everything
+#
+# Exits non-zero on the first failing step.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO_ROOT"
+
+echo "== lint: metric name convention =="
+python tools/check_metric_names.py
+
+echo
+echo "== tests: tier-1 suite =="
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
