@@ -1,0 +1,78 @@
+"""Cold-start benchmark: `Pipeline.open_workspace` vs a from-scratch build.
+
+The workspace exists to amortise the paper's query-independent
+pre-processing (section 4): once `repro build` has run, a serving
+process should hydrate every substrate from disk instead of re-analysing
+the corpus.  This bench measures both cold-start paths on the shared
+bench dataset and asserts the >= 5x speedup the workspace is meant to
+deliver (in practice it is far larger; the bar is deliberately
+conservative so CI noise cannot flake it).
+
+Emits ``benchmarks/results/BENCH_test_perf_workspace.json`` via the
+conftest hook plus a human-readable ``perf_workspace.txt`` table.
+"""
+
+import json
+import time
+
+from conftest import write_result
+
+from repro.corpus import write_corpus_jsonl
+from repro.ontology import write_obo
+from repro.pipeline import Pipeline
+
+#: (function, paper_set) pairs whose prestige scores a warm pipeline holds.
+SCORE_ARMS = (("text", "text"), ("citation", "text"),
+              ("pattern", "pattern"), ("citation", "pattern"))
+
+MIN_SPEEDUP = 5.0
+
+
+def _touch_everything(pipeline):
+    """Force every artifact the workspace stores to be live in memory."""
+    for function, paper_set in SCORE_ARMS:
+        pipeline.prestige(function, paper_set)
+    pipeline.representatives
+    pipeline.citation_graph
+
+
+def test_perf_workspace(dataset, results_dir, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("workspace-bench")
+    write_corpus_jsonl(dataset.corpus, directory / "corpus.jsonl")
+    write_obo(dataset.ontology, directory / "ontology.obo")
+    with open(directory / "training.json", "w", encoding="utf-8") as handle:
+        json.dump(dataset.training_papers, handle)
+
+    # Cold start A: read the raw data and compute every artifact in memory.
+    started = time.perf_counter()
+    scratch = Pipeline.from_directory(directory)
+    _touch_everything(scratch)
+    scratch_seconds = time.perf_counter() - started
+
+    # One-off: persist the workspace (reuses the objects already in memory).
+    started = time.perf_counter()
+    scratch.build_workspace(directory / "workspace")
+    build_seconds = time.perf_counter() - started
+
+    # Cold start B: hydrate a brand-new pipeline from the workspace.
+    started = time.perf_counter()
+    hydrated = Pipeline.open_workspace(directory)
+    open_seconds = time.perf_counter() - started
+
+    # The hydrated pipeline must be immediately searchable and agree with
+    # the from-scratch one -- speed means nothing if the results drift.
+    query = "metabolic process activity"
+    assert [
+        (h.paper_id, h.relevancy) for h in hydrated.search(query, limit=10)
+    ] == [(h.paper_id, h.relevancy) for h in scratch.search(query, limit=10)]
+
+    speedup = scratch_seconds / max(open_seconds, 1e-9)
+    table = "\n".join([
+        f"corpus size              {len(dataset.corpus)} papers",
+        f"from-scratch cold start  {scratch_seconds * 1000.0:10.1f} ms",
+        f"workspace serialisation  {build_seconds * 1000.0:10.1f} ms",
+        f"open_workspace cold start{open_seconds * 1000.0:10.1f} ms",
+        f"speedup                  {speedup:10.1f}x  (floor {MIN_SPEEDUP:.0f}x)",
+    ])
+    write_result(results_dir, "perf_workspace", table)
+    assert speedup >= MIN_SPEEDUP

@@ -158,6 +158,23 @@ class CitationGraph:
             frontier = next_frontier
         return reached
 
+    # -- (de)serialisation ----------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, List]:
+        """JSON-able snapshot: node list (insertion order) + edge list."""
+        return {
+            "nodes": self.nodes(),
+            "edges": [[source, target] for source, target in self.edges()],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict) -> "CitationGraph":
+        """Rebuild from :meth:`to_payload` output (orders preserved)."""
+        return cls(
+            nodes=payload["nodes"],
+            edges=[(source, target) for source, target in payload["edges"]],
+        )
+
     # -- interop -------------------------------------------------------------------
 
     def to_networkx(self):

@@ -4,11 +4,15 @@ Subcommands mirror a deployment's life cycle:
 
 - ``repro generate``  -- synthesise a corpus + ontology + training map to
   a data directory (the stand-in for parsing PubMed);
-- ``repro search``    -- run a context-based search against a data dir;
+- ``repro build``     -- incrementally build the artifact workspace
+  (index, vectors, tokens, citation graph, paper sets, representatives,
+  prestige scores -- the paper's query-independent pre-processing);
+  ``repro precompute`` is kept as an alias;
+- ``repro workspace status`` -- per-artifact freshness of a workspace;
+- ``repro search``    -- run a context-based search against a data dir
+  (hydrates from ``<data>/workspace`` when one is built);
 - ``repro evaluate``  -- run the accuracy/separability evaluation and
   print a summary;
-- ``repro precompute``-- build and persist context paper sets and
-  prestige scores (the paper's query-independent pre-processing);
 - ``repro obs report`` -- render saved trace/metrics dumps as ASCII.
 
 Every subcommand additionally accepts the observability flags
@@ -20,6 +24,8 @@ and ``--log-json`` (structured JSON-lines logging; equivalent to
 Example::
 
     repro generate --papers 1200 --terms 250 --out data/
+    repro build --data data/
+    repro workspace status --data data/
     repro search --data data/ --query "dna repair kinase" --limit 10
     repro search --data data/ --query "dna repair" --trace-out trace.jsonl \
         --metrics-out metrics.json
@@ -35,7 +41,6 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.core.io import write_context_paper_set, write_prestige_scores
 from repro.corpus import write_corpus_jsonl
 from repro.datagen import CorpusGenerator, OntologyGenerator
 from repro.eval.experiments import PrecisionExperiment, SeparabilityExperiment
@@ -75,15 +80,37 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_pipeline(data_dir: str) -> Pipeline:
+def _workspace_dir(data_dir: str) -> Path:
+    return Path(data_dir) / "workspace"
+
+
+def _load_pipeline(data_dir: str, use_workspace: bool = True) -> Pipeline:
+    """Open a data directory; hydrate from its workspace when one exists.
+
+    Hydration is non-strict: whatever is fresh loads from disk, anything
+    stale falls back to the lazy in-memory build (``repro build`` makes
+    the next start cold-start-free again).
+    """
     try:
-        return Pipeline.from_directory(data_dir)
-    except FileNotFoundError as error:
+        pipeline = Pipeline.from_directory(data_dir)
+    except (FileNotFoundError, ValueError) as error:
         raise SystemExit(f"error: {error}") from error
+    workspace = _workspace_dir(data_dir)
+    if use_workspace and (workspace / "manifest.json").exists():
+        from repro.workspace import open_workspace
+
+        try:
+            open_workspace(pipeline, workspace, strict=False)
+        except ValueError as error:
+            print(
+                f"warning: ignoring workspace {workspace}: {error}",
+                file=sys.stderr,
+            )
+    return pipeline
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    pipeline = _load_pipeline(args.data)
+    pipeline = _load_pipeline(args.data, use_workspace=not args.no_workspace)
     hits = pipeline.search(
         args.query,
         function=args.function,
@@ -111,7 +138,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    pipeline = _load_pipeline(args.data)
+    pipeline = _load_pipeline(args.data, use_workspace=not args.no_workspace)
     if args.report:
         from repro.eval.report import generate_report
 
@@ -157,7 +184,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     """Calibrate w_prestige / threshold on derived validation queries."""
     from repro.core.tuning import RelevancyTuner
 
-    pipeline = _load_pipeline(args.data)
+    pipeline = _load_pipeline(args.data, use_workspace=not args.no_workspace)
     queries = _derive_queries(pipeline, args.queries)
     if not queries:
         print("error: could not derive queries", file=sys.stderr)
@@ -237,24 +264,35 @@ def _derive_queries(pipeline: Pipeline, n_queries: int) -> List[str]:
     return queries
 
 
-def _cmd_precompute(args: argparse.Namespace) -> int:
-    pipeline = _load_pipeline(args.data)
-    out = Path(args.data)
-    write_context_paper_set(pipeline.text_paper_set, out / "text_paper_set.json")
-    write_context_paper_set(
-        pipeline.pattern_paper_set, out / "pattern_paper_set.json"
+def _cmd_build(args: argparse.Namespace) -> int:
+    """Incrementally build the artifact workspace (`repro precompute` alias)."""
+    pipeline = _load_pipeline(args.data, use_workspace=False)
+    report = pipeline.build_workspace(
+        _workspace_dir(args.data), only=args.only or None, force=args.force
     )
-    for function, paper_set in (
-        ("text", "text"),
-        ("citation", "text"),
-        ("pattern", "pattern"),
-        ("citation", "pattern"),
-    ):
-        scores = pipeline.prestige(function, paper_set)
-        write_prestige_scores(
-            scores, out / f"scores_{function}_{paper_set}.json"
-        )
-    print(f"precomputed artefacts written to {out}/")
+    print(report.format_table())
+    if report.is_noop():
+        print("workspace is up to date (no-op)")
+    return 0
+
+
+def _cmd_workspace_status(args: argparse.Namespace) -> int:
+    """Show per-artifact freshness of a data directory's workspace."""
+    from repro.workspace import workspace_status
+
+    pipeline = _load_pipeline(args.data, use_workspace=False)
+    statuses = workspace_status(pipeline, _workspace_dir(args.data))
+    stale = 0
+    print(f"workspace: {_workspace_dir(args.data)}")
+    for status in statuses:
+        note = f"  ({status.reason})" if status.reason else ""
+        print(f"  {status.name:<24} {status.state}{note}")
+        if status.state != "fresh":
+            stale += 1
+    if stale:
+        print(f"{stale} artifact(s) need `repro build`")
+        return 1
+    print("all artifacts fresh")
     return 0
 
 
@@ -297,6 +335,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit structured JSON-lines logs instead of plain text",
     )
+    # Shared by the commands that *read* a data directory: skip the
+    # workspace and rebuild everything in memory (debugging aid).
+    data_common = argparse.ArgumentParser(add_help=False)
+    data_common.add_argument(
+        "--no-workspace",
+        action="store_true",
+        help="ignore any built workspace; rebuild artifacts in memory",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     generate = subparsers.add_parser(
@@ -316,7 +362,7 @@ def build_parser() -> argparse.ArgumentParser:
     generate.set_defaults(func=_cmd_generate)
 
     search = subparsers.add_parser(
-        "search", help="context-based search", parents=[obs_common]
+        "search", help="context-based search", parents=[obs_common, data_common]
     )
     search.add_argument("--data", default="data")
     search.add_argument("--query", required=True)
@@ -331,7 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.set_defaults(func=_cmd_search)
 
     evaluate = subparsers.add_parser(
-        "evaluate", help="run the evaluation", parents=[obs_common]
+        "evaluate", help="run the evaluation", parents=[obs_common, data_common]
     )
     evaluate.add_argument("--data", default="data")
     evaluate.add_argument("--queries", type=int, default=30)
@@ -342,18 +388,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     evaluate.set_defaults(func=_cmd_evaluate)
 
-    precompute = subparsers.add_parser(
-        "precompute",
-        help="persist paper sets and prestige scores",
-        parents=[obs_common],
+    build_help = "incrementally build the artifact workspace"
+    for command, help_text in (
+        ("build", build_help),
+        # Deprecated spelling from before the artifact-graph workspace;
+        # same behaviour, kept so existing scripts don't break.
+        ("precompute", build_help + " (alias of `repro build`)"),
+    ):
+        build = subparsers.add_parser(command, help=help_text, parents=[obs_common])
+        build.add_argument("--data", default="data")
+        build.add_argument(
+            "--only",
+            action="append",
+            metavar="ARTIFACT",
+            help="build only this artifact (+ dependencies); repeatable",
+        )
+        build.add_argument(
+            "--force",
+            action="store_true",
+            help="rebuild the requested artifacts even if fresh",
+        )
+        build.set_defaults(func=_cmd_build)
+
+    workspace = subparsers.add_parser(
+        "workspace", help="workspace utilities", parents=[obs_common]
     )
-    precompute.add_argument("--data", default="data")
-    precompute.set_defaults(func=_cmd_precompute)
+    workspace_sub = workspace.add_subparsers(dest="workspace_command", required=True)
+    ws_status = workspace_sub.add_parser(
+        "status", help="per-artifact freshness of a workspace"
+    )
+    ws_status.add_argument("--data", default="data")
+    ws_status.set_defaults(func=_cmd_workspace_status)
 
     tune = subparsers.add_parser(
         "tune",
         help="calibrate relevancy weights against AC answer sets",
-        parents=[obs_common],
+        parents=[obs_common, data_common],
     )
     tune.add_argument("--data", default="data")
     tune.add_argument("--queries", type=int, default=20)

@@ -12,14 +12,53 @@ import json
 from pathlib import Path
 from typing import Union
 
+from typing import Dict, Optional
+
+from repro.citations.graph import CitationGraph
 from repro.core.context import Context, ContextPaperSet
+from repro.core.patterns import AnalyzedPaperCache
 from repro.core.scores.base import PrestigeScores
+from repro.core.vectors import PaperVectorStore
+from repro.corpus.corpus import Corpus
+from repro.index.inverted import InvertedIndex
 from repro.ontology.ontology import Ontology
+from repro.text.analyze import Analyzer
 
 PathLike = Union[str, Path]
 
 _PAPER_SET_FORMAT = "repro/context-paper-set/v1"
 _SCORES_FORMAT = "repro/prestige-scores/v1"
+_INDEX_FORMAT = "repro/inverted-index/v1"
+_VECTORS_FORMAT = "repro/vector-store/v1"
+_TOKENS_FORMAT = "repro/token-cache/v1"
+_GRAPH_FORMAT = "repro/citation-graph/v1"
+_REPRESENTATIVES_FORMAT = "repro/representatives/v1"
+
+
+def write_tagged_json(payload: dict, path: PathLike, format_tag: str) -> None:
+    """Write ``payload`` with a ``format`` tag for load-time validation."""
+    payload = {"format": format_tag, **payload}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def read_tagged_json(path: PathLike, format_tag: str) -> dict:
+    """Read a JSON artefact, refusing mismatched or corrupt files.
+
+    Both failure modes raise ``ValueError`` naming the offending path, so
+    a broken workspace points at the file to rebuild.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}: corrupt JSON ({error})") from error
+    if not isinstance(payload, dict) or payload.get("format") != format_tag:
+        found = payload.get("format") if isinstance(payload, dict) else None
+        raise ValueError(
+            f"{path}: expected format {format_tag!r}, found {found!r}"
+        )
+    return payload
 
 
 def write_context_paper_set(paper_set: ContextPaperSet, path: PathLike) -> None:
@@ -95,3 +134,63 @@ def read_prestige_scores(path: PathLike) -> PrestigeScores:
         for context_id, scores in payload["by_context"].items()
     }
     return PrestigeScores(payload["function"], by_context)
+
+
+# -- workspace substrate codecs ---------------------------------------------------
+#
+# Each heavy pipeline substrate gets a symmetric (write_*, read_*) pair
+# over its in-place ``to_payload``/``from_payload`` snapshot.  Readers
+# take the live objects the artefact cannot embed (corpus, analyzer) --
+# the same convention as :func:`read_context_paper_set`'s ontology.
+
+
+def write_inverted_index(index: InvertedIndex, path: PathLike) -> None:
+    write_tagged_json(index.to_payload(), path, _INDEX_FORMAT)
+
+
+def read_inverted_index(
+    path: PathLike, analyzer: Optional[Analyzer] = None
+) -> InvertedIndex:
+    payload = read_tagged_json(path, _INDEX_FORMAT)
+    return InvertedIndex.from_payload(payload, analyzer=analyzer)
+
+
+def write_vector_store(vectors: PaperVectorStore, path: PathLike) -> None:
+    write_tagged_json(vectors.to_payload(), path, _VECTORS_FORMAT)
+
+
+def read_vector_store(
+    path: PathLike, corpus: Corpus, analyzer: Optional[Analyzer] = None
+) -> PaperVectorStore:
+    payload = read_tagged_json(path, _VECTORS_FORMAT)
+    return PaperVectorStore.from_payload(payload, corpus, analyzer=analyzer)
+
+
+def write_token_cache(tokens: AnalyzedPaperCache, path: PathLike) -> None:
+    write_tagged_json(tokens.to_payload(), path, _TOKENS_FORMAT)
+
+
+def read_token_cache(
+    path: PathLike, corpus: Corpus, analyzer: Optional[Analyzer] = None
+) -> AnalyzedPaperCache:
+    payload = read_tagged_json(path, _TOKENS_FORMAT)
+    return AnalyzedPaperCache.from_payload(payload, corpus, analyzer=analyzer)
+
+
+def write_citation_graph(graph: CitationGraph, path: PathLike) -> None:
+    write_tagged_json(graph.to_payload(), path, _GRAPH_FORMAT)
+
+
+def read_citation_graph(path: PathLike) -> CitationGraph:
+    payload = read_tagged_json(path, _GRAPH_FORMAT)
+    return CitationGraph.from_payload(payload)
+
+
+def write_representatives(representatives: Dict[str, str], path: PathLike) -> None:
+    write_tagged_json({"by_context": dict(representatives)}, path,
+                      _REPRESENTATIVES_FORMAT)
+
+
+def read_representatives(path: PathLike) -> Dict[str, str]:
+    payload = read_tagged_json(path, _REPRESENTATIVES_FORMAT)
+    return dict(payload["by_context"])

@@ -99,3 +99,59 @@ class PaperVectorStore:
     def full_similarity(self, paper_a: str, paper_b: str) -> float:
         """Cosine similarity of whole-paper vectors."""
         return self.full_vector(paper_a).cosine(self.full_vector(paper_b))
+
+    # -- (de)serialisation --------------------------------------------------------
+
+    def warm(self) -> None:
+        """Fit every model and vectorise every paper's full text.
+
+        The workspace builder calls this before serialising so a loaded
+        store serves queries (which need the full model) and centroid /
+        representative work (full vectors) without touching the analyzer.
+        Per-section vectors stay lazy: only score *building* reads them.
+        """
+        for section in TEXT_SECTIONS:
+            self.section_model(section)
+        for paper_id in self.corpus.paper_ids():
+            self.full_vector(paper_id)
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-able snapshot: fitted models + cached whole-paper vectors."""
+        return {
+            "section_models": {
+                section.value: model.to_payload()
+                for section, model in self._section_models.items()
+            },
+            "full_model": (
+                self._full_model.to_payload()
+                if self._full_model is not None
+                else None
+            ),
+            "full_vectors": {
+                paper_id: {
+                    str(term_id): weight
+                    for term_id, weight in vector.weights.items()
+                }
+                for paper_id, vector in self._full_vectors.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict, corpus: Corpus, analyzer: Optional[Analyzer] = None
+    ) -> "PaperVectorStore":
+        """Rebuild a warmed store from :meth:`to_payload` output."""
+        store = cls(corpus, analyzer)
+        for section_value, model_payload in payload["section_models"].items():
+            store._section_models[Section(section_value)] = TfidfModel.from_payload(
+                model_payload
+            )
+        if payload.get("full_model") is not None:
+            store._full_model = TfidfModel.from_payload(payload["full_model"])
+        store._full_vectors = {
+            paper_id: SparseVector(
+                {int(term_id): float(w) for term_id, w in weights.items()}
+            )
+            for paper_id, weights in payload["full_vectors"].items()
+        }
+        return store

@@ -149,5 +149,54 @@ class InvertedIndex:
     def __contains__(self, term: str) -> bool:
         return term in self._postings
 
+    # -- (de)serialisation -----------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Dict[str, Dict[str, int]]]:
+        """JSON-able snapshot: per-paper per-section term counts.
+
+        Postings and document frequencies are fully derivable from the
+        per-paper counts, so only those are stored; :meth:`from_payload`
+        reconstructs the derived structures in the original order.
+        """
+        return {
+            "papers": {
+                paper_id: {
+                    section.value: dict(counts)
+                    for section, counts in sections.items()
+                }
+                for paper_id, sections in self._paper_terms.items()
+            }
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Mapping, analyzer: Optional[Analyzer] = None
+    ) -> "InvertedIndex":
+        """Rebuild from :meth:`to_payload` output without re-analysing text.
+
+        Replaying papers in stored order reproduces the exact postings
+        and document-frequency state of the original index.
+        """
+        index = cls(analyzer=analyzer)
+        for paper_id, sections in payload["papers"].items():
+            per_section: Dict[Section, Dict[str, int]] = {}
+            seen_terms = set()
+            for section_value, counts in sections.items():
+                section = Section(section_value)
+                counts = {term: int(tf) for term, tf in counts.items()}
+                per_section[section] = counts
+                for term, frequency in counts.items():
+                    index._postings.setdefault(term, []).append(
+                        Posting(paper_id, section, frequency)
+                    )
+                    seen_terms.add(term)
+            for term in seen_terms:
+                index._document_frequency[term] = (
+                    index._document_frequency.get(term, 0) + 1
+                )
+            index._paper_terms[paper_id] = per_section
+            index._n_papers += 1
+        return index
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"InvertedIndex({self._n_papers} papers, {self.n_terms} terms)"

@@ -79,6 +79,7 @@ class Pipeline:
         self._pattern_assigner: Optional[PatternContextAssigner] = None
         self._text_paper_set: Optional[ContextPaperSet] = None
         self._pattern_paper_set: Optional[ContextPaperSet] = None
+        self._representatives: Optional[Dict[str, str]] = None
         self._scores: Dict[str, PrestigeScores] = {}
 
     @classmethod
@@ -115,8 +116,14 @@ class Pipeline:
                 )
         corpus = read_corpus_jsonl(data / "corpus.jsonl")
         ontology = read_obo(data / "ontology.obo")
-        with open(data / "training.json", "r", encoding="utf-8") as handle:
-            training = json.load(handle)
+        training_path = data / "training.json"
+        with open(training_path, "r", encoding="utf-8") as handle:
+            try:
+                training = json.load(handle)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{training_path}: corrupt JSON ({error})"
+                ) from error
         return cls(
             corpus=corpus, ontology=ontology, training_papers=training, **kwargs
         )
@@ -179,41 +186,53 @@ class Pipeline:
         training papers -- the selection is deterministic, so this
         reproduces the original choice.
         """
+        if self._representatives is not None:
+            return dict(self._representatives)
         paper_set = self.text_paper_set
         if self._text_assigner is not None:
-            return dict(self._text_assigner.representatives)
-        from repro.core.representative import select_representatives
+            self._representatives = dict(self._text_assigner.representatives)
+        else:
+            from repro.core.representative import select_representatives
 
-        return select_representatives(self.vectors, paper_set)
+            self._representatives = select_representatives(self.vectors, paper_set)
+        return dict(self._representatives)
 
     @property
     def pattern_paper_set(self) -> ContextPaperSet:
         """The pattern-based context paper set (section 4, second builder)."""
         if self._pattern_paper_set is None:
-            self._pattern_assigner = PatternContextAssigner(
-                self.corpus, self.ontology, self.index, token_cache=self.tokens
-            )
-            self._pattern_paper_set = self._pattern_assigner.build(
-                self.training_papers
-            )
+            _ = self.pattern_assigner  # runs the build, which installs the set
         return self._pattern_paper_set
 
     @property
     def pattern_assigner(self) -> PatternContextAssigner:
-        _ = self.pattern_paper_set
-        assert self._pattern_assigner is not None
+        """The pattern assigner, running pattern construction on first use.
+
+        When the pattern paper set was hydrated from a workspace, the
+        assigner has not run; accessing it (only pattern-*score* builds
+        do) re-runs pattern construction while keeping the loaded set.
+        """
+        if self._pattern_assigner is None:
+            assigner = PatternContextAssigner(
+                self.corpus, self.ontology, self.index, token_cache=self.tokens
+            )
+            built = assigner.build(self.training_papers)
+            if self._pattern_paper_set is None:
+                self._pattern_paper_set = built
+            self._pattern_assigner = assigner
         return self._pattern_assigner
 
     # -- precomputed artefacts ------------------------------------------------------------
 
     def load_precomputed(self, data_dir) -> int:
-        """Load artefacts written by ``repro precompute`` from ``data_dir``.
+        """Load paper-set/score artefacts from a directory of JSON files.
 
         Any ``text_paper_set.json`` / ``pattern_paper_set.json`` /
         ``scores_<function>_<set>.json`` found is installed into the
         pipeline's caches, short-circuiting the expensive builds.  Returns
         the number of artefacts loaded.  Missing files are fine (you can
-        precompute a subset); corrupt files raise.
+        precompute a subset); corrupt files raise.  For full zero-rebuild
+        hydration of every substrate use :meth:`open_workspace` instead.
         """
         from pathlib import Path
 
@@ -232,15 +251,61 @@ class Pipeline:
             )
             loaded += 1
         for scores_path in sorted(data.glob("scores_*_*.json")):
-            stem_parts = scores_path.stem.split("_")  # scores, function, set
-            if len(stem_parts) != 3:
+            # Filename is scores_<function>_<set>; the *function* may itself
+            # contain underscores ("citation_xctx"), the paper-set name never
+            # does -- so split the set off from the right, not the left.
+            function, _, paper_set_name = scores_path.stem[len("scores_"):].rpartition(
+                "_"
+            )
+            if not function or not paper_set_name:
                 continue
-            _, function, paper_set_name = stem_parts
             self._scores[f"{function}/{paper_set_name}"] = read_prestige_scores(
                 scores_path
             )
             loaded += 1
         return loaded
+
+    # -- workspace (artifact graph) ------------------------------------------------
+
+    @classmethod
+    def open_workspace(
+        cls, data_dir, workspace_dir=None, strict: bool = True, **kwargs
+    ) -> "Pipeline":
+        """Open a data directory and hydrate every cache from its workspace.
+
+        The generalisation of :meth:`load_precomputed`: a workspace built
+        by ``repro build`` (see :mod:`repro.workspace`) holds *all* heavy
+        substrates -- index, vectors, token cache, citation graph, paper
+        sets, representatives, prestige scores -- so a fully-built
+        workspace opens with zero rebuilds.
+
+        ``workspace_dir`` defaults to ``<data_dir>/workspace``.  With
+        ``strict=True`` any missing or stale artifact raises
+        :class:`~repro.workspace.builder.StaleWorkspaceError`; with
+        ``strict=False`` stale artifacts are skipped and rebuilt lazily
+        on first use.
+        """
+        from pathlib import Path
+
+        from repro.workspace import open_workspace as _open
+
+        pipeline = cls.from_directory(data_dir, **kwargs)
+        if workspace_dir is None:
+            workspace_dir = Path(data_dir) / "workspace"
+        _open(pipeline, workspace_dir, strict=strict)
+        return pipeline
+
+    def build_workspace(
+        self, workspace_dir, only=None, force: bool = False
+    ):
+        """Build (incrementally) the on-disk workspace for this pipeline.
+
+        Returns the :class:`~repro.workspace.builder.BuildReport` listing
+        what was built and what was already fresh.
+        """
+        from repro.workspace import WorkspaceBuilder
+
+        return WorkspaceBuilder(self, workspace_dir).build(only=only, force=force)
 
     # -- prestige scores ------------------------------------------------------------------
 

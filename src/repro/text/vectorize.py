@@ -169,6 +169,25 @@ class TfidfModel:
         vector = SparseVector(weights)
         return vector.normalized() if normalize else vector
 
+    # -- (de)serialisation --------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-able snapshot of the fitted model (vocabulary + flags)."""
+        return {
+            "vocabulary": self.vocabulary.to_payload(),
+            "sublinear_tf": self.sublinear_tf,
+            "smooth_idf": self.smooth_idf,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "TfidfModel":
+        """Rebuild a fitted model from :meth:`to_payload` output."""
+        return cls(
+            vocabulary=Vocabulary.from_payload(payload["vocabulary"]),
+            sublinear_tf=bool(payload["sublinear_tf"]),
+            smooth_idf=bool(payload["smooth_idf"]),
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"TfidfModel({len(self.vocabulary)} terms, "

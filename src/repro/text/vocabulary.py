@@ -82,5 +82,32 @@ class Vocabulary:
         """Iterate ``(term, id)`` pairs."""
         return iter(self._term_to_id.items())
 
+    # -- (de)serialisation ------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-able snapshot; ids are implicit in the term list order."""
+        return {
+            "terms": list(self._id_to_term),
+            "doc_freq": list(self._doc_freq),
+            "n_documents": self._n_documents,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "Vocabulary":
+        """Rebuild from :meth:`to_payload` output (ids preserved exactly)."""
+        vocabulary = cls()
+        terms = list(payload["terms"])
+        doc_freq = [int(df) for df in payload["doc_freq"]]
+        if len(terms) != len(doc_freq):
+            raise ValueError(
+                f"vocabulary payload mismatch: {len(terms)} terms vs "
+                f"{len(doc_freq)} doc_freq entries"
+            )
+        vocabulary._id_to_term = terms
+        vocabulary._term_to_id = {term: i for i, term in enumerate(terms)}
+        vocabulary._doc_freq = doc_freq
+        vocabulary._n_documents = int(payload["n_documents"])
+        return vocabulary
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Vocabulary({len(self)} terms, {self._n_documents} documents)"

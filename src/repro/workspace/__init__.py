@@ -1,0 +1,60 @@
+"""The artifact-graph workspace: a persistent build layer under the Pipeline.
+
+The paper's paradigm is build-once/query-many: contexts, representatives,
+patterns, and prestige scores are "pre-computed before search time".  This
+package makes that explicit.  Every expensive pipeline substrate is an
+:class:`~repro.workspace.artifact.Artifact` node in a small dependency
+graph with a typed save/load codec and a content fingerprint;
+:class:`~repro.workspace.builder.WorkspaceBuilder` topologically builds
+only stale nodes into an on-disk *workspace* directory, and
+:func:`~repro.workspace.builder.open_workspace` hydrates a pipeline from
+that directory with zero rebuilds.
+
+See ``docs/architecture.md`` for the graph, directory layout, and
+manifest schema.
+"""
+
+from repro.workspace.artifact import (
+    ARTIFACTS,
+    Artifact,
+    artifact_names,
+    topological_order,
+)
+from repro.workspace.builder import (
+    ArtifactStatus,
+    BuildReport,
+    StaleWorkspaceError,
+    WorkspaceBuilder,
+    open_workspace,
+    workspace_status,
+)
+from repro.workspace.fingerprint import InputDigests, artifact_fingerprints
+from repro.workspace.manifest import (
+    MANIFEST_FILE,
+    MANIFEST_FORMAT,
+    ManifestEntry,
+    read_manifest,
+    validate_manifest_payload,
+    write_manifest,
+)
+
+__all__ = [
+    "ARTIFACTS",
+    "Artifact",
+    "ArtifactStatus",
+    "BuildReport",
+    "InputDigests",
+    "MANIFEST_FILE",
+    "MANIFEST_FORMAT",
+    "ManifestEntry",
+    "StaleWorkspaceError",
+    "WorkspaceBuilder",
+    "artifact_fingerprints",
+    "artifact_names",
+    "open_workspace",
+    "read_manifest",
+    "topological_order",
+    "validate_manifest_payload",
+    "workspace_status",
+    "write_manifest",
+]

@@ -1,0 +1,257 @@
+"""Artifact declarations: the nodes of the workspace build graph.
+
+Each :class:`Artifact` bundles everything the builder needs to treat one
+pipeline substrate as a first-class build product:
+
+- ``build(pipeline)``   -- produce the object (delegates to the
+  pipeline's lazily-memoised properties, so dependency objects installed
+  beforehand are reused, never rebuilt);
+- ``save(obj, path)`` / ``load(path, pipeline)`` -- the typed codec
+  (format-tagged JSON; see :mod:`repro.core.io`);
+- ``install(pipeline, obj)`` -- hydrate the pipeline's cache slot so
+  later property accesses short-circuit;
+- ``deps`` -- upstream artifact names (fingerprints chain through them);
+- ``config_keys`` -- the pipeline parameters the artifact's content
+  depends on (changing any other parameter leaves it fresh).
+
+The registry :data:`ARTIFACTS` is declaration-ordered and already
+topologically sorted; :func:`topological_order` re-derives the order from
+the declared edges and is what the builder actually uses, so a future
+out-of-order declaration cannot corrupt builds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.core import io as core_io
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One node of the artifact graph (see module docstring)."""
+
+    name: str
+    filename: str
+    schema_version: int
+    build: Callable
+    save: Callable
+    load: Callable
+    install: Callable
+    #: Is the object already live in the pipeline's cache slot?
+    installed: Callable = lambda pipeline: False
+    deps: Tuple[str, ...] = ()
+    config_keys: Tuple[str, ...] = ()
+    description: str = ""
+
+
+def _score_artifact(function: str, paper_set_name: str, deps: Tuple[str, ...]) -> Artifact:
+    key = f"{function}/{paper_set_name}"
+
+    def install(pipeline, scores):
+        pipeline._scores[key] = scores
+
+    return Artifact(
+        name=f"scores_{function}_{paper_set_name}",
+        filename=f"scores_{function}_{paper_set_name}.json",
+        schema_version=1,
+        build=lambda pipeline: pipeline.prestige(function, paper_set_name),
+        save=core_io.write_prestige_scores,
+        load=lambda path, pipeline: core_io.read_prestige_scores(path),
+        install=install,
+        installed=lambda pipeline: key in pipeline._scores,
+        deps=deps,
+        description=f"{function} prestige scores on the {paper_set_name} paper set",
+    )
+
+
+def _build_index(pipeline):
+    return pipeline.index
+
+
+def _install_index(pipeline, index):
+    pipeline._index = index
+
+
+def _build_tokens(pipeline):
+    tokens = pipeline.tokens
+    tokens.warm()
+    return tokens
+
+
+def _install_tokens(pipeline, tokens):
+    pipeline._tokens = tokens
+
+
+def _build_vectors(pipeline):
+    vectors = pipeline.vectors
+    vectors.warm()
+    return vectors
+
+
+def _install_vectors(pipeline, vectors):
+    pipeline._vectors = vectors
+
+
+def _install_graph(pipeline, graph):
+    pipeline._graph = graph
+
+
+def _install_text_paper_set(pipeline, paper_set):
+    pipeline._text_paper_set = paper_set
+
+
+def _install_pattern_paper_set(pipeline, paper_set):
+    pipeline._pattern_paper_set = paper_set
+
+
+def _install_representatives(pipeline, representatives):
+    pipeline._representatives = dict(representatives)
+
+
+#: Declaration-ordered artifact registry (already a valid build order).
+ARTIFACTS: Dict[str, Artifact] = {
+    artifact.name: artifact
+    for artifact in (
+        Artifact(
+            name="index",
+            filename="index.json",
+            schema_version=1,
+            build=_build_index,
+            save=core_io.write_inverted_index,
+            load=lambda path, pipeline: core_io.read_inverted_index(path),
+            install=_install_index,
+            installed=lambda pipeline: pipeline._index is not None,
+            description="section-aware inverted index over the corpus",
+        ),
+        Artifact(
+            name="tokens",
+            filename="tokens.json",
+            schema_version=1,
+            build=_build_tokens,
+            save=core_io.write_token_cache,
+            load=lambda path, pipeline: core_io.read_token_cache(
+                path, pipeline.corpus, pipeline.index.analyzer
+            ),
+            install=_install_tokens,
+            installed=lambda pipeline: pipeline._tokens is not None,
+            deps=("index",),
+            description="analysed token sequences per (paper, section)",
+        ),
+        Artifact(
+            name="vectors",
+            filename="vectors.json",
+            schema_version=1,
+            build=_build_vectors,
+            save=core_io.write_vector_store,
+            load=lambda path, pipeline: core_io.read_vector_store(
+                path, pipeline.corpus, pipeline.index.analyzer
+            ),
+            install=_install_vectors,
+            installed=lambda pipeline: pipeline._vectors is not None,
+            deps=("index",),
+            description="fitted TF-IDF models + whole-paper vectors",
+        ),
+        Artifact(
+            name="citation_graph",
+            filename="citation_graph.json",
+            schema_version=1,
+            build=lambda pipeline: pipeline.citation_graph,
+            save=core_io.write_citation_graph,
+            load=lambda path, pipeline: core_io.read_citation_graph(path),
+            install=_install_graph,
+            installed=lambda pipeline: pipeline._graph is not None,
+            description="corpus-wide directed citation graph",
+        ),
+        Artifact(
+            name="text_paper_set",
+            filename="text_paper_set.json",
+            schema_version=1,
+            build=lambda pipeline: pipeline.text_paper_set,
+            save=core_io.write_context_paper_set,
+            load=lambda path, pipeline: core_io.read_context_paper_set(
+                path, pipeline.ontology
+            ),
+            install=_install_text_paper_set,
+            installed=lambda pipeline: pipeline._text_paper_set is not None,
+            deps=("index", "vectors"),
+            config_keys=("text_similarity_threshold",),
+            description="text-based context paper set (section 4)",
+        ),
+        Artifact(
+            name="pattern_paper_set",
+            filename="pattern_paper_set.json",
+            schema_version=1,
+            build=lambda pipeline: pipeline.pattern_paper_set,
+            save=core_io.write_context_paper_set,
+            load=lambda path, pipeline: core_io.read_context_paper_set(
+                path, pipeline.ontology
+            ),
+            install=_install_pattern_paper_set,
+            installed=lambda pipeline: pipeline._pattern_paper_set is not None,
+            deps=("index", "tokens"),
+            description="pattern-based context paper set (section 4)",
+        ),
+        Artifact(
+            name="representatives",
+            filename="representatives.json",
+            schema_version=1,
+            build=lambda pipeline: pipeline.representatives,
+            save=core_io.write_representatives,
+            load=lambda path, pipeline: core_io.read_representatives(path),
+            install=_install_representatives,
+            installed=lambda pipeline: pipeline._representatives is not None,
+            deps=("text_paper_set", "vectors"),
+            description="representative paper per text-set context",
+        ),
+        _score_artifact(
+            "text", "text",
+            deps=("text_paper_set", "vectors", "citation_graph", "representatives"),
+        ),
+        _score_artifact("citation", "text", deps=("text_paper_set", "citation_graph")),
+        _score_artifact("pattern", "pattern", deps=("pattern_paper_set", "tokens")),
+        _score_artifact(
+            "citation", "pattern", deps=("pattern_paper_set", "citation_graph")
+        ),
+    )
+}
+
+
+def artifact_names() -> List[str]:
+    """Every registered artifact name, in declaration order."""
+    return list(ARTIFACTS)
+
+
+def topological_order(targets: Optional[Iterable[str]] = None) -> List[str]:
+    """Dependency-closed build order for ``targets`` (default: everything).
+
+    Raises ``KeyError`` for unknown names and ``ValueError`` on a
+    dependency cycle (cannot happen with the shipped registry; guards
+    future edits).
+    """
+    requested = list(targets) if targets is not None else artifact_names()
+    for name in requested:
+        if name not in ARTIFACTS:
+            raise KeyError(
+                f"unknown artifact {name!r}; known: {', '.join(ARTIFACTS)}"
+            )
+    order: List[str] = []
+    visiting: set = set()
+    done: set = set()
+
+    def visit(name: str) -> None:
+        if name in done:
+            return
+        if name in visiting:
+            raise ValueError(f"artifact dependency cycle through {name!r}")
+        visiting.add(name)
+        for dep in ARTIFACTS[name].deps:
+            visit(dep)
+        visiting.discard(name)
+        done.add(name)
+        order.append(name)
+
+    for name in requested:
+        visit(name)
+    return order

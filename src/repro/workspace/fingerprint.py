@@ -1,0 +1,102 @@
+"""Content fingerprints for workspace artifacts.
+
+An artifact is *fresh* when the fingerprint recorded in the manifest
+matches the fingerprint recomputed from the live inputs.  Fingerprints
+compose three ingredients:
+
+- **input digests** -- SHA-256 over the canonical JSON of the corpus,
+  the ontology, and the training map (the three raw inputs every
+  artifact ultimately derives from);
+- **config digest** -- the pipeline parameters the artifact actually
+  reads (declared per artifact; ``w_prestige`` is a search-time weight,
+  so changing it invalidates nothing);
+- **dependency fingerprints** -- chained in topological order, so a
+  change anywhere upstream ripples to every dependent node.
+
+Everything is hashed through canonical JSON (sorted keys, no
+whitespace), so fingerprints are stable across processes and
+``PYTHONHASHSEED`` values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+from repro.corpus.corpus import Corpus
+from repro.ontology.ontology import Ontology
+
+
+def digest_json(payload) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``payload``."""
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def corpus_digest(corpus: Corpus) -> str:
+    """Digest over every paper record, in corpus order."""
+    return digest_json([paper.to_dict() for paper in corpus])
+
+
+def ontology_digest(ontology: Ontology) -> str:
+    """Digest over every term (id, name, namespace, parents)."""
+    return digest_json(
+        [
+            [term.term_id, term.name, term.namespace, list(term.parent_ids)]
+            for term in ontology
+        ]
+    )
+
+
+def training_digest(training_papers: Mapping[str, Sequence[str]]) -> str:
+    """Digest over the term -> evidence-paper map."""
+    return digest_json({k: list(v) for k, v in training_papers.items()})
+
+
+@dataclass(frozen=True)
+class InputDigests:
+    """The three raw-input digests every artifact fingerprint includes."""
+
+    corpus: str
+    ontology: str
+    training: str
+
+    @classmethod
+    def of_pipeline(cls, pipeline) -> "InputDigests":
+        return cls(
+            corpus=corpus_digest(pipeline.corpus),
+            ontology=ontology_digest(pipeline.ontology),
+            training=training_digest(pipeline.training_papers),
+        )
+
+    @property
+    def combined(self) -> str:
+        return digest_json([self.corpus, self.ontology, self.training])
+
+
+def artifact_fingerprints(pipeline, inputs: InputDigests = None) -> Dict[str, str]:
+    """Fingerprint of every registered artifact for ``pipeline``'s inputs.
+
+    Computed in one topological pass so dependency fingerprints are
+    available when a dependent node is hashed.
+    """
+    from repro.workspace.artifact import ARTIFACTS, topological_order
+
+    if inputs is None:
+        inputs = InputDigests.of_pipeline(pipeline)
+    fingerprints: Dict[str, str] = {}
+    for name in topological_order():
+        artifact = ARTIFACTS[name]
+        config = {key: getattr(pipeline, key) for key in artifact.config_keys}
+        fingerprints[name] = digest_json(
+            {
+                "artifact": artifact.name,
+                "schema_version": artifact.schema_version,
+                "inputs": inputs.combined,
+                "config": config,
+                "deps": [fingerprints[dep] for dep in artifact.deps],
+            }
+        )
+    return fingerprints

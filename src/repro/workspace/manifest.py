@@ -1,0 +1,164 @@
+"""The workspace manifest: one JSON file describing every built artifact.
+
+``manifest.json`` sits at the workspace root and records, per artifact,
+the file it lives in, the content fingerprint it was built from, its
+schema version, dependency edges, and build cost.  Freshness checks
+compare manifest fingerprints against recomputed ones -- the manifest is
+the *only* state the builder trusts between runs.
+
+Schema (``repro/workspace-manifest/v1``)::
+
+    {
+      "format": "repro/workspace-manifest/v1",
+      "inputs": {"corpus": "<sha256>", "ontology": "...", "training": "..."},
+      "artifacts": {
+        "<name>": {
+          "file": "<name>.json",
+          "fingerprint": "<sha256>",
+          "schema_version": 1,
+          "deps": ["..."],
+          "built_at": 1754000000.0,
+          "wall_seconds": 1.234,
+          "size_bytes": 56789
+        }
+      }
+    }
+
+``tools/check_workspace_manifest.py`` validates the same schema from the
+command line via :func:`validate_manifest_payload`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+PathLike = Union[str, Path]
+
+MANIFEST_FORMAT = "repro/workspace-manifest/v1"
+MANIFEST_FILE = "manifest.json"
+
+#: Required per-artifact entry fields and their JSON types.
+_ENTRY_FIELDS: Tuple[Tuple[str, type], ...] = (
+    ("file", str),
+    ("fingerprint", str),
+    ("schema_version", int),
+    ("deps", list),
+    ("built_at", float),
+    ("wall_seconds", float),
+    ("size_bytes", int),
+)
+
+
+@dataclass(frozen=True)
+class ManifestEntry:
+    """Manifest record of one built artifact."""
+
+    file: str
+    fingerprint: str
+    schema_version: int
+    deps: List[str]
+    built_at: float
+    wall_seconds: float
+    size_bytes: int
+
+
+def validate_manifest_payload(payload: object, origin: str = "manifest") -> Dict:
+    """Validate a parsed manifest; return it or raise ``ValueError``.
+
+    Checks the format tag, the input-digest block, and that every
+    artifact entry carries every required field with the right type.
+    Registry-level checks (known names, codec coverage) live in
+    ``tools/check_workspace_manifest.py`` so this stays import-light.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"{origin}: manifest must be a JSON object")
+    if payload.get("format") != MANIFEST_FORMAT:
+        raise ValueError(
+            f"{origin}: expected format {MANIFEST_FORMAT!r}, "
+            f"found {payload.get('format')!r}"
+        )
+    inputs = payload.get("inputs")
+    if not isinstance(inputs, dict) or set(inputs) != {
+        "corpus", "ontology", "training",
+    }:
+        raise ValueError(
+            f"{origin}: 'inputs' must map exactly corpus/ontology/training "
+            "to digests"
+        )
+    artifacts = payload.get("artifacts")
+    if not isinstance(artifacts, dict):
+        raise ValueError(f"{origin}: 'artifacts' must be a JSON object")
+    for name, entry in artifacts.items():
+        if not isinstance(entry, dict):
+            raise ValueError(f"{origin}: artifact {name!r} entry must be an object")
+        for fieldname, expected in _ENTRY_FIELDS:
+            if fieldname not in entry:
+                raise ValueError(
+                    f"{origin}: artifact {name!r} is missing {fieldname!r}"
+                )
+            value = entry[fieldname]
+            # ints are acceptable where floats are expected (JSON 1 vs 1.0).
+            if expected is float and isinstance(value, int):
+                continue
+            if not isinstance(value, expected):
+                raise ValueError(
+                    f"{origin}: artifact {name!r} field {fieldname!r} must be "
+                    f"{expected.__name__}, got {type(value).__name__}"
+                )
+    return payload
+
+
+def read_manifest(directory: PathLike) -> Optional[Dict[str, object]]:
+    """Load and validate ``manifest.json`` from ``directory``.
+
+    Returns None when the file does not exist (an unbuilt workspace);
+    corrupt or invalid manifests raise ``ValueError`` with the path.
+    """
+    path = Path(directory) / MANIFEST_FILE
+    if not path.exists():
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}: corrupt JSON ({error})") from error
+    return validate_manifest_payload(payload, origin=str(path))
+
+
+def write_manifest(
+    directory: PathLike,
+    inputs: Dict[str, str],
+    entries: Dict[str, ManifestEntry],
+) -> Path:
+    """Write ``manifest.json`` atomically-ish (write then replace)."""
+    path = Path(directory) / MANIFEST_FILE
+    payload = {
+        "format": MANIFEST_FORMAT,
+        "inputs": dict(inputs),
+        "artifacts": {name: asdict(entry) for name, entry in sorted(entries.items())},
+    }
+    tmp = path.with_suffix(".json.tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    tmp.replace(path)
+    return path
+
+
+def entries_from_payload(payload: Dict[str, object]) -> Dict[str, ManifestEntry]:
+    """Typed entries from a validated manifest payload."""
+    return {
+        name: ManifestEntry(
+            file=raw["file"],
+            fingerprint=raw["fingerprint"],
+            schema_version=int(raw["schema_version"]),
+            deps=list(raw["deps"]),
+            built_at=float(raw["built_at"]),
+            wall_seconds=float(raw["wall_seconds"]),
+            size_bytes=int(raw["size_bytes"]),
+        )
+        for name, raw in payload["artifacts"].items()
+    }

@@ -79,21 +79,67 @@ class TestSearch:
             main(["search", "--data", str(tmp_path), "--query", "x"])
 
 
-class TestPrecompute:
-    def test_artifacts_written(self, data_dir):
+class TestBuild:
+    def test_workspace_written(self, data_dir, capsys):
+        # `precompute` is the legacy alias of `build`; both target the
+        # artifact workspace under <data>/workspace.
         code = main(["precompute", "--data", str(data_dir)])
         assert code == 0
-        assert (data_dir / "text_paper_set.json").exists()
-        assert (data_dir / "pattern_paper_set.json").exists()
-        assert (data_dir / "scores_text_text.json").exists()
-        assert (data_dir / "scores_citation_pattern.json").exists()
+        output = capsys.readouterr().out
+        assert "built 11" in output
+        workspace = data_dir / "workspace"
+        assert (workspace / "manifest.json").exists()
+        assert (workspace / "text_paper_set.json").exists()
+        assert (workspace / "pattern_paper_set.json").exists()
+        assert (workspace / "scores_text_text.json").exists()
+        assert (workspace / "scores_citation_pattern.json").exists()
 
     def test_artifacts_load_back(self, data_dir):
         from repro.core.io import read_prestige_scores
 
-        scores = read_prestige_scores(data_dir / "scores_text_text.json")
+        scores = read_prestige_scores(
+            data_dir / "workspace" / "scores_text_text.json"
+        )
         assert scores.function_name == "text"
         assert len(scores) > 0
+
+    def test_second_build_is_noop(self, data_dir, capsys):
+        code = main(["build", "--data", str(data_dir)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "workspace is up to date (no-op)" in output
+
+    def test_only_flag_limits_build(self, tmp_path, capsys):
+        main(
+            ["generate", "--papers", "60", "--terms", "15",
+             "--seed", "8", "--out", str(tmp_path)]
+        )
+        code = main(
+            ["build", "--data", str(tmp_path), "--only", "citation_graph"]
+        )
+        assert code == 0
+        workspace = tmp_path / "workspace"
+        assert (workspace / "citation_graph.json").exists()
+        assert not (workspace / "index.json").exists()
+
+
+class TestWorkspaceStatus:
+    def test_fresh_workspace_reports_clean(self, data_dir, capsys):
+        code = main(["workspace", "status", "--data", str(data_dir)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "all artifacts fresh" in output
+
+    def test_unbuilt_workspace_reports_stale(self, tmp_path, capsys):
+        main(
+            ["generate", "--papers", "60", "--terms", "15",
+             "--seed", "8", "--out", str(tmp_path)]
+        )
+        code = main(["workspace", "status", "--data", str(tmp_path)])
+        assert code == 1
+        output = capsys.readouterr().out
+        assert "missing" in output
+        assert "need `repro build`" in output
 
 
 class TestEvaluate:

@@ -94,3 +94,60 @@ class TestBuildDemoPipeline:
         pipeline = build_demo_pipeline(seed=4, n_papers=80, n_terms=25)
         # Whatever the query, the call path must not blow up.
         pipeline.search("binding activity", limit=5)
+
+
+class TestFromDirectory:
+    """Failure paths of the standard data-directory layout."""
+
+    def _write_valid(self, directory, dataset):
+        import json
+
+        from repro.corpus import write_corpus_jsonl
+        from repro.ontology import write_obo
+
+        write_corpus_jsonl(dataset.corpus, directory / "corpus.jsonl")
+        write_obo(dataset.ontology, directory / "ontology.obo")
+        with open(directory / "training.json", "w", encoding="utf-8") as handle:
+            json.dump(dataset.training_papers, handle)
+
+    @pytest.mark.parametrize(
+        "missing", ["corpus.jsonl", "ontology.obo", "training.json"]
+    )
+    def test_missing_file_named_in_error(self, small_dataset, tmp_path, missing):
+        self._write_valid(tmp_path, small_dataset)
+        (tmp_path / missing).unlink()
+        with pytest.raises(FileNotFoundError, match=missing):
+            Pipeline.from_directory(tmp_path)
+
+    def test_corrupt_training_json_names_path(self, small_dataset, tmp_path):
+        self._write_valid(tmp_path, small_dataset)
+        (tmp_path / "training.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="corrupt JSON") as excinfo:
+            Pipeline.from_directory(tmp_path)
+        assert str(tmp_path / "training.json") in str(excinfo.value)
+
+    def test_round_trip_matches_in_memory(self, small_dataset, tmp_path):
+        self._write_valid(tmp_path, small_dataset)
+        loaded = Pipeline.from_directory(tmp_path)
+        assert loaded.corpus.paper_ids() == small_dataset.corpus.paper_ids()
+        assert len(loaded.ontology) == len(small_dataset.ontology)
+        assert loaded.training_papers == {
+            k: list(v) for k, v in small_dataset.training_papers.items()
+        }
+
+
+class TestLoadPrecomputedParsing:
+    def test_function_name_with_underscore(self, small_dataset, tmp_path):
+        """Regression: scores_<function>_<set> where <function> itself
+        contains an underscore used to be skipped silently."""
+        from repro.core.io import write_prestige_scores
+        from repro.core.scores import PrestigeScores
+
+        scores = PrestigeScores("citation_xctx", {"T:1": {"P:1": 0.5}})
+        write_prestige_scores(scores, tmp_path / "scores_citation_xctx_text.json")
+        pipeline = Pipeline.from_dataset(small_dataset)
+        assert pipeline.load_precomputed(tmp_path) == 1
+        assert "citation_xctx/text" in pipeline._scores
+        restored = pipeline._scores["citation_xctx/text"]
+        assert restored.function_name == "citation_xctx"
+        assert restored.score("T:1", "P:1") == pytest.approx(0.5)

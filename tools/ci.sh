@@ -13,5 +13,9 @@ echo "== lint: metric name convention =="
 python tools/check_metric_names.py
 
 echo
+echo "== lint: workspace artifact registry =="
+python tools/check_workspace_manifest.py
+
+echo
 echo "== tests: tier-1 suite =="
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
