@@ -41,6 +41,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.core.search import SELECTION_STRATEGIES
 from repro.corpus import write_corpus_jsonl
 from repro.datagen import CorpusGenerator, OntologyGenerator
 from repro.eval.experiments import PrecisionExperiment, SeparabilityExperiment
@@ -109,18 +110,23 @@ def _load_pipeline(data_dir: str, use_workspace: bool = True) -> Pipeline:
     return pipeline
 
 
-def _cmd_search(args: argparse.Namespace) -> int:
-    pipeline = _load_pipeline(args.data, use_workspace=not args.no_workspace)
-    hits = pipeline.search(
-        args.query,
-        function=args.function,
-        paper_set_name=args.paper_set,
-        limit=args.limit,
-        threshold=args.threshold,
-    )
-    if not hits:
-        print("no results")
-        return 1
+def _read_queries_file(path: str) -> List[str]:
+    """One query per line; blank lines and ``#`` comment lines are skipped."""
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as error:
+        raise SystemExit(f"error: cannot read queries file: {error}") from error
+    queries = [
+        line.strip()
+        for line in text.splitlines()
+        if line.strip() and not line.lstrip().startswith("#")
+    ]
+    if not queries:
+        raise SystemExit(f"error: no queries in {path}")
+    return queries
+
+
+def _print_hits(pipeline, query: str, hits) -> None:
     from repro.index.snippets import best_snippet
 
     for hit in hits:
@@ -131,9 +137,45 @@ def _cmd_search(args: argparse.Namespace) -> int:
             f"        prestige={hit.prestige:.2f} match={hit.matching:.2f} "
             f"context={context.term_id} ({context.name[:40]})"
         )
-        snippet = best_snippet(paper, args.query)
+        snippet = best_snippet(paper, query)
         if snippet is not None:
             print(f"        {snippet.text[:100]}")
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    pipeline = _load_pipeline(args.data, use_workspace=not args.no_workspace)
+    if args.queries_file is not None:
+        queries = _read_queries_file(args.queries_file)
+        batches = pipeline.search_many(
+            queries,
+            function=args.function,
+            paper_set_name=args.paper_set,
+            limit=args.limit,
+            threshold=args.threshold,
+            selection_strategy=args.selection_strategy,
+            max_workers=args.workers,
+        )
+        answered = 0
+        for query, hits in zip(queries, batches):
+            print(f"== {query}")
+            if not hits:
+                print("no results")
+            else:
+                answered += 1
+                _print_hits(pipeline, query, hits)
+        return 0 if answered else 1
+    hits = pipeline.search(
+        args.query,
+        function=args.function,
+        paper_set_name=args.paper_set,
+        limit=args.limit,
+        threshold=args.threshold,
+        selection_strategy=args.selection_strategy,
+    )
+    if not hits:
+        print("no results")
+        return 1
+    _print_hits(pipeline, args.query, hits)
     return 0
 
 
@@ -365,12 +407,28 @@ def build_parser() -> argparse.ArgumentParser:
         "search", help="context-based search", parents=[obs_common, data_common]
     )
     search.add_argument("--data", default="data")
-    search.add_argument("--query", required=True)
+    query_source = search.add_mutually_exclusive_group(required=True)
+    query_source.add_argument("--query")
+    query_source.add_argument(
+        "--queries-file",
+        help="file with one query per line (blank lines and # comments skipped); "
+        "queries run as a concurrent batch",
+    )
     search.add_argument(
         "--function", choices=("text", "citation", "pattern"), default="text"
     )
     search.add_argument(
         "--paper-set", choices=("text", "pattern"), default="text"
+    )
+    search.add_argument(
+        "--selection-strategy",
+        choices=SELECTION_STRATEGIES,
+        default="probe",
+        help="how to pick candidate contexts for a query",
+    )
+    search.add_argument(
+        "--workers", type=int, default=4,
+        help="thread-pool size for --queries-file batches",
     )
     search.add_argument("--limit", type=int, default=10)
     search.add_argument("--threshold", type=float, default=0.0)

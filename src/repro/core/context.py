@@ -9,6 +9,7 @@ every score function consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.ontology.ontology import Ontology
@@ -47,8 +48,13 @@ class Context:
     def size(self) -> int:
         return len(self.paper_ids)
 
+    @cached_property
+    def paper_id_set(self) -> frozenset:
+        """Membership set, built once (``paper_ids`` stays the ordered view)."""
+        return frozenset(self.paper_ids)
+
     def __contains__(self, paper_id: str) -> bool:
-        return paper_id in set(self.paper_ids)
+        return paper_id in self.paper_id_set
 
 
 class ContextPaperSet:

@@ -12,17 +12,29 @@ Search proceeds exactly as section 5.1 describes:
    and papers below the relevancy threshold are dropped;
 3. *merge search results from different contexts into a single result
    set* -- a paper appearing in several contexts keeps its best relevancy.
+
+Serving fast path: each query is analysed into one
+:class:`~repro.index.search.QueryEvaluation` (a single postings scan)
+that probe selection, relevancy scoring, grouped results, and
+:meth:`ContextSearchEngine.explain` all share -- the index is never
+scanned twice for one request.  Independent queries can be batched
+through :meth:`ContextSearchEngine.search_many`, which fans out over a
+thread pool (the registry and the engine's lazy caches are
+thread-safe).
 """
 
 from __future__ import annotations
 
+import heapq
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.context import ContextPaperSet
 from repro.core.scores.base import PrestigeScores
 from repro.core.vectors import PaperVectorStore
-from repro.index.search import KeywordSearchEngine
+from repro.index.search import KeywordSearchEngine, QueryEvaluation
 from repro.obs import get_registry, span
 from repro.ontology.ontology import Ontology
 
@@ -130,6 +142,43 @@ class ContextSearchEngine:
         self.selection_strategy = selection_strategy
         self.vectors = vectors
         self.representatives = dict(representatives) if representatives else {}
+        self._name_terms: Dict[str, frozenset] = {}
+        self._sqrt_size: Dict[str, float] = {}
+        self._warm_lock = threading.Lock()
+        self._warmed = False
+
+    # -- engine warm-up ----------------------------------------------------------------
+
+    def warm(self) -> "ContextSearchEngine":
+        """Build the engine's lazy per-query caches up front.
+
+        Called implicitly by :meth:`search_many` before fanning out so
+        worker threads never race a lazy build; harmless to call twice.
+        """
+        with self._warm_lock:
+            if self._warmed:
+                return self
+            analyzer = self.keyword_engine.index.analyzer
+            for context in self.paper_set:
+                self._name_terms[context.term_id] = frozenset(
+                    analyzer.analyze(self.ontology.term(context.term_id).name)
+                )
+                self._sqrt_size[context.term_id] = max(context.size ** 0.5, 1.0)
+                _ = context.paper_id_set
+            # Force the paper -> contexts reverse map (lazy in the set).
+            self.paper_set.contexts_of_paper("")
+            self._warmed = True
+        return self
+
+    def _context_name_terms(self, context_id: str) -> frozenset:
+        terms = self._name_terms.get(context_id)
+        if terms is None:
+            analyzer = self.keyword_engine.index.analyzer
+            terms = frozenset(
+                analyzer.analyze(self.ontology.term(context_id).name)
+            )
+            self._name_terms[context_id] = terms
+        return terms
 
     # -- task 3: context selection ---------------------------------------------------
 
@@ -137,13 +186,28 @@ class ContextSearchEngine:
         self, query: str, max_contexts: int = 5
     ) -> List[ContextSelection]:
         """Rank contexts for the query with the configured strategy."""
+        evaluation = (
+            self.keyword_engine.evaluate(query)
+            if self.selection_strategy == "probe"
+            else None
+        )
+        return self._select_contexts(query, max_contexts, evaluation)
+
+    def _select_contexts(
+        self,
+        query: str,
+        max_contexts: int,
+        evaluation: Optional[QueryEvaluation],
+    ) -> List[ContextSelection]:
+        """Selection core; ``evaluation`` is the request's shared scan."""
         with span("search.select", strategy=self.selection_strategy) as trace:
             if self.selection_strategy == "name":
                 selections = self._select_by_name(query, max_contexts)
             elif self.selection_strategy == "representative":
                 selections = self._select_by_representative(query, max_contexts)
             else:
-                selections = self._select_by_probe(query, max_contexts)
+                assert evaluation is not None
+                selections = self._select_by_probe(evaluation, max_contexts)
             trace.set(probed=len(self.paper_set), selected=len(selections))
         registry = get_registry()
         registry.counter("search.context.contexts_probed").inc(len(self.paper_set))
@@ -151,30 +215,34 @@ class ContextSearchEngine:
         return selections
 
     def _select_by_probe(
-        self, query: str, max_contexts: int
+        self, evaluation: QueryEvaluation, max_contexts: int
     ) -> List[ContextSelection]:
-        """Rank contexts by keyword-probe response plus term-name overlap."""
-        probe = self.keyword_engine.search(query, limit=self.probe_depth)
-        probe_scores = {hit.paper_id: hit.score for hit in probe}
-        analyzer = self.keyword_engine.index.analyzer
-        query_terms = set(analyzer.analyze(query))
+        """Rank contexts by keyword-probe response plus term-name overlap.
+
+        Rather than walking every context's full member list, the probe
+        walks only its top hits and accumulates strength through the
+        paper-set's reverse (paper -> contexts) map -- O(probe_depth x
+        avg contexts per paper) instead of O(total memberships).
+        """
+        probe = evaluation.top_scores(self.probe_depth)
         strengths: Dict[str, float] = {}
-        for context in self.paper_set:
-            strength = 0.0
-            for paper_id in context.paper_ids:
-                hit = probe_scores.get(paper_id)
-                if hit is not None:
-                    strength += hit
-            if strength == 0.0:
-                continue
+        contexts_of_paper = self.paper_set.contexts_of_paper
+        for paper_id, score in probe:
+            for context_id in contexts_of_paper(paper_id):
+                strengths[context_id] = strengths.get(context_id, 0.0) + score
+        query_terms = frozenset(evaluation.terms)
+        for context_id in list(strengths):
             # Normalise by context size so huge contexts don't always win.
-            strength /= max(len(context.paper_ids) ** 0.5, 1.0)
+            sqrt_size = self._sqrt_size.get(context_id)
+            if sqrt_size is None:
+                size = self.paper_set.context(context_id).size
+                sqrt_size = max(size ** 0.5, 1.0)
+                self._sqrt_size[context_id] = sqrt_size
+            strength = strengths[context_id] / sqrt_size
             if query_terms:
-                name_terms = set(
-                    analyzer.analyze(self.ontology.term(context.term_id).name)
-                )
+                name_terms = self._context_name_terms(context_id)
                 strength += self.name_bonus * len(query_terms & name_terms)
-            strengths[context.term_id] = strength
+            strengths[context_id] = strength
         return self._ranked_selections(strengths, max_contexts)
 
     def _select_by_name(
@@ -192,9 +260,7 @@ class ContextSearchEngine:
             return []
         strengths: Dict[str, float] = {}
         for context in self.paper_set:
-            name_terms = set(
-                analyzer.analyze(self.ontology.term(context.term_id).name)
-            )
+            name_terms = self._context_name_terms(context.term_id)
             shared = query_terms & name_terms
             if shared:
                 strengths[context.term_id] = len(shared) / len(query_terms)
@@ -224,10 +290,12 @@ class ContextSearchEngine:
     def _ranked_selections(
         strengths: Dict[str, float], max_contexts: int
     ) -> List[ContextSelection]:
-        ranked = sorted(strengths.items(), key=lambda item: (-item[1], item[0]))
+        ranked = heapq.nsmallest(
+            max_contexts, strengths.items(), key=lambda item: (-item[1], item[0])
+        )
         return [
             ContextSelection(context_id=cid, strength=value)
-            for cid, value in ranked[:max_contexts]
+            for cid, value in ranked
         ]
 
     # -- tasks 4 & 5: search and rank -------------------------------------------------
@@ -243,12 +311,16 @@ class ContextSearchEngine:
         """Full context-based search: select, score, threshold, merge.
 
         ``contexts`` overrides automatic selection (used by experiments
-        that fix the context of interest).
+        that fix the context of interest).  The whole request shares one
+        :class:`QueryEvaluation`, so the inverted index is scanned
+        exactly once per call.
         """
         with span("search.run", query=query, threshold=threshold) as trace:
+            evaluation = self.keyword_engine.evaluate(query)
             if contexts is None:
                 selected = [
-                    s.context_id for s in self.select_contexts(query, max_contexts)
+                    s.context_id
+                    for s in self._select_contexts(query, max_contexts, evaluation)
                 ]
             else:
                 selected = [cid for cid in contexts if cid in self.paper_set]
@@ -261,19 +333,15 @@ class ContextSearchEngine:
             merge_deduped = 0
             best: Dict[str, SearchHit] = {}
             with span("search.score", contexts=len(selected)) as score_trace:
-                match_scores = {
-                    hit.paper_id: hit.score
-                    for hit in self.keyword_engine.search(query)
-                }
+                match_scores = evaluation.scores
                 for context_id in selected:
                     context = self.paper_set.context(context_id)
                     context_prestige = self.prestige.of(context_id)
-                    for paper_id in context.paper_ids:
-                        matching = match_scores.get(paper_id, 0.0)
-                        if matching == 0.0:
-                            # A paper with no textual response to the query is
-                            # not a search result, however prestigious.
-                            continue
+                    for paper_id, matching in self._context_matches(
+                        context, match_scores
+                    ):
+                        # A paper with no textual response to the query is
+                        # not a search result, however prestigious.
                         papers_scored += 1
                         prestige = context_prestige.get(paper_id, 0.0)
                         relevancy = (
@@ -313,6 +381,58 @@ class ContextSearchEngine:
             registry.counter("search.context.merge_deduped").inc(merge_deduped)
             return hits
 
+    @staticmethod
+    def _context_matches(context, match_scores):
+        """(paper_id, matching) pairs of one context, iterating the smaller side.
+
+        When the context is larger than the query's match set, walking the
+        match set and testing membership is cheaper than walking every
+        member; both directions yield each matched (paper, score) pair
+        exactly once, so metrics and merge results are identical.
+        """
+        if len(context.paper_ids) <= len(match_scores):
+            for paper_id in context.paper_ids:
+                matching = match_scores.get(paper_id, 0.0)
+                if matching > 0.0:
+                    yield paper_id, matching
+        else:
+            members = context.paper_id_set
+            for paper_id, matching in match_scores.items():
+                if matching > 0.0 and paper_id in members:
+                    yield paper_id, matching
+
+    def search_many(
+        self,
+        queries: Sequence[str],
+        max_workers: int = 4,
+        **kwargs,
+    ) -> List[List[SearchHit]]:
+        """Run independent queries concurrently; results in input order.
+
+        Queries fan out over a thread pool after :meth:`warm` has built
+        every lazy cache, so workers only read shared state.  Each query
+        runs the same single-scan path as :meth:`search` and increments
+        every metric exactly once.  ``kwargs`` are passed through to
+        :meth:`search`.
+        """
+        queries = list(queries)
+        if not queries:
+            return []
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.warm()
+        registry = get_registry()
+        registry.counter("search.batch.queries").inc(len(queries))
+        with span(
+            "search.batch.run", queries=len(queries), workers=max_workers
+        ), registry.timer("search.batch.seconds"):
+            if max_workers == 1 or len(queries) == 1:
+                return [self.search(query, **kwargs) for query in queries]
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                return list(
+                    pool.map(lambda query: self.search(query, **kwargs), queries)
+                )
+
     def search_grouped(
         self,
         query: str,
@@ -325,23 +445,20 @@ class ContextSearchEngine:
         Groups come back in selection-strength order; a paper appearing in
         several selected contexts appears in each group with that
         context's prestige.  Empty groups (no paper cleared the threshold)
-        are dropped.
+        are dropped.  Shares one :class:`QueryEvaluation` between
+        selection and scoring, like :meth:`search`.
         """
-        selections = self.select_contexts(query, max_contexts)
+        evaluation = self.keyword_engine.evaluate(query)
+        selections = self._select_contexts(query, max_contexts, evaluation)
         if not selections:
             return []
-        match_scores = {
-            hit.paper_id: hit.score for hit in self.keyword_engine.search(query)
-        }
+        match_scores = evaluation.scores
         groups: List[ContextResultGroup] = []
         for selection in selections:
             context = self.paper_set.context(selection.context_id)
             context_prestige = self.prestige.of(selection.context_id)
             hits = []
-            for paper_id in context.paper_ids:
-                matching = match_scores.get(paper_id, 0.0)
-                if matching == 0.0:
-                    continue
+            for paper_id, matching in self._context_matches(context, match_scores):
                 prestige = context_prestige.get(paper_id, 0.0)
                 relevancy = (
                     self.w_prestige * prestige + self.w_matching * matching
@@ -384,10 +501,13 @@ class ContextSearchEngine:
         Returns the matching score, the paper's prestige in every selected
         context that contains it, the winning context, and the resulting
         relevancy -- the decomposition a relevance engineer needs when a
-        ranking surprises them.
+        ranking surprises them.  Selection and matching read the same
+        single-scan evaluation, so the explanation shows exactly the
+        scores :meth:`search` would use (quoted-phrase filters included).
         """
-        selections = self.select_contexts(query, max_contexts)
-        matching = self.keyword_engine.match_score(query, paper_id)
+        evaluation = self.keyword_engine.evaluate(query)
+        selections = self._select_contexts(query, max_contexts, evaluation)
+        matching = evaluation.score(paper_id)
         per_context: List[Tuple[str, float, float]] = []
         for selection in selections:
             context = self.paper_set.context(selection.context_id)

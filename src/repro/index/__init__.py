@@ -12,7 +12,7 @@ search with a high threshold", section 2).
 
 from repro.index.inverted import InvertedIndex, Posting
 from repro.index.positional import PositionalIndex
-from repro.index.search import KeywordHit, KeywordSearchEngine
+from repro.index.search import KeywordHit, KeywordSearchEngine, QueryEvaluation
 from repro.index.snippets import Snippet, best_snippet
 
 __all__ = [
@@ -21,6 +21,7 @@ __all__ = [
     "Posting",
     "KeywordSearchEngine",
     "KeywordHit",
+    "QueryEvaluation",
     "best_snippet",
     "Snippet",
 ]

@@ -39,6 +39,7 @@ class InvertedIndex:
         self._document_frequency: Dict[str, int] = {}
         self._paper_terms: Dict[str, Dict[Section, Dict[str, int]]] = {}
         self._n_papers = 0
+        self._revision = 0
 
     # -- construction -------------------------------------------------------------
 
@@ -71,6 +72,7 @@ class InvertedIndex:
             self._document_frequency[term] = self._document_frequency.get(term, 0) + 1
         self._paper_terms[paper.paper_id] = per_section
         self._n_papers += 1
+        self._revision += 1
 
     def remove_paper(self, paper_id: str) -> None:
         """Remove one paper from the index (ValueError if not indexed).
@@ -99,12 +101,23 @@ class InvertedIndex:
             else:
                 self._document_frequency.pop(term, None)
         self._n_papers -= 1
+        self._revision += 1
 
     # -- access --------------------------------------------------------------------
 
     @property
     def n_papers(self) -> int:
         return self._n_papers
+
+    @property
+    def revision(self) -> int:
+        """Mutation counter: bumped by every paper add/remove.
+
+        Derived caches (e.g. the BM25 section-length cache in the search
+        engine) key on this rather than ``n_papers``, so replacing a paper
+        without changing the count still invalidates them.
+        """
+        return self._revision
 
     @property
     def n_terms(self) -> int:
@@ -196,6 +209,7 @@ class InvertedIndex:
                 )
             index._paper_terms[paper_id] = per_section
             index._n_papers += 1
+            index._revision += 1
         return index
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -10,16 +10,24 @@ paper:
   AC-answer-set construction has an absolute scale to cut against.
 - :meth:`KeywordSearchEngine.search_unranked` -- the PubMed behaviour the
   introduction criticises: every paper containing all query terms, listed
-  in descending id/year order with *no* relevance score.
+  in descending year/id order with *no* relevance score.
 
 Quoted segments (``'"gene expression" yeast'``) are exact-phrase filters
 when the engine runs over a :class:`~repro.index.positional.PositionalIndex`.
+
+The serving fast path is :meth:`KeywordSearchEngine.evaluate`: one
+postings scan produces a :class:`QueryEvaluation` holding every paper's
+normalised match score, which ranked retrieval, per-paper match scoring,
+context selection, and explain all share.  A single context-based search
+therefore touches each posting list exactly once.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 import re
+import threading
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -47,6 +55,81 @@ class KeywordHit:
     paper_id: str
     score: float
     matched_terms: int
+
+
+@dataclass(frozen=True)
+class QueryEvaluation:
+    """Everything one postings scan learns about a query.
+
+    Produced by :meth:`KeywordSearchEngine.evaluate`; shared by ranked
+    retrieval (:meth:`KeywordSearchEngine.search`), per-paper match
+    scoring (:meth:`KeywordSearchEngine.match_score`), and the context
+    search engine's selection/scoring/explain stages, so a single search
+    request never rescans the index.
+
+    ``scores`` are normalised to [0, 1] by the query's maximum achievable
+    self-score and already respect any quoted-phrase filter.
+    """
+
+    query: str
+    #: Distinct analysed scoring terms, in query order.
+    terms: Tuple[str, ...]
+    #: Analysed quoted phrases (each a term tuple); applied as filters.
+    phrases: Tuple[Tuple[str, ...], ...]
+    #: Normalised match score per paper (papers cut by a phrase filter
+    #: or scoring 0 are absent).
+    scores: Mapping[str, float]
+    #: Distinct query terms matched per paper (same key set as scores).
+    matched_terms: Mapping[str, int]
+    #: The normalisation bound (0.0 when no term is in the vocabulary).
+    max_score: float
+    #: Postings touched by the scan (observability).
+    postings_scanned: int
+
+    def score(self, paper_id: str) -> float:
+        """Normalised match score of one paper (0.0 when not matched)."""
+        return self.scores.get(paper_id, 0.0)
+
+    def hits(
+        self,
+        limit: Optional[int] = None,
+        threshold: float = 0.0,
+        require_all_terms: bool = False,
+    ) -> List[KeywordHit]:
+        """Materialise ranked :class:`KeywordHit` rows from the scan."""
+        n_terms = len(self.terms)
+        hits = [
+            KeywordHit(
+                paper_id=paper_id,
+                score=score,
+                matched_terms=self.matched_terms[paper_id],
+            )
+            for paper_id, score in self.scores.items()
+            if score >= threshold
+            and (not require_all_terms or self.matched_terms[paper_id] >= n_terms)
+        ]
+        if limit is not None and limit < len(hits):
+            # Partial selection beats sorting every match when only the
+            # head of the ranking is wanted (probe selection, top-k UIs).
+            return heapq.nsmallest(
+                limit, hits, key=lambda hit: (-hit.score, hit.paper_id)
+            )
+        hits.sort(key=lambda hit: (-hit.score, hit.paper_id))
+        return hits
+
+    def top_scores(self, limit: int) -> List[Tuple[str, float]]:
+        """The ``limit`` best ``(paper_id, score)`` pairs, best first.
+
+        Same ranking as :meth:`hits` without materialising a
+        :class:`KeywordHit` per matched paper -- the cheap form consumers
+        on the hot path (probe selection) want.
+        """
+        items = self.scores.items()
+        if limit < len(self.scores):
+            return heapq.nsmallest(
+                limit, items, key=lambda item: (-item[1], item[0])
+            )
+        return sorted(items, key=lambda item: (-item[1], item[0]))
 
 
 class KeywordSearchEngine:
@@ -86,7 +169,75 @@ class KeywordSearchEngine:
         self.b = b
         self._section_lengths: Optional[Dict[Tuple[str, Section], int]] = None
         self._avg_section_length: Optional[Dict[Section, float]] = None
-        self._lengths_cache_hits = 0
+        self._lengths_revision: Optional[int] = None
+        self._lengths_lock = threading.Lock()
+        # Per-term contribution cache: ``weight * tf_component * idf`` is
+        # query-independent, so the per-posting contributions of a term
+        # (and its distinct matched papers) are computed once per index
+        # revision and replayed on later queries in the same order --
+        # scores stay bitwise identical to a fresh scan.
+        self._contrib_cache: Dict[
+            str, Optional[Tuple[List[Tuple[str, float]], List[str]]]
+        ] = {}
+        self._contrib_revision: Optional[int] = None
+        self._contrib_lock = threading.Lock()
+
+    # -- the single-scan evaluation ------------------------------------------------
+
+    def evaluate(self, query: str) -> QueryEvaluation:
+        """Scan the postings of every query term exactly once.
+
+        The returned :class:`QueryEvaluation` answers every downstream
+        question about the query -- ranked hits, per-paper match scores,
+        probe selection -- without touching the index again.
+        """
+        distinct_terms, phrases = self._parse_query(query)
+        lengths = averages = None
+        if self.scoring == "bm25" and distinct_terms:
+            # Fetch the section-length state once per query, not once per
+            # posting; the cache-hit counter therefore counts queries.
+            lengths, averages, was_cached = self._lengths_state()
+            if was_cached:
+                get_registry().counter("index.keyword.lengths_cache_hits").inc()
+        scores: Dict[str, float] = {}
+        matches: Dict[str, int] = {}
+        postings_scanned = 0
+        for term in distinct_terms:
+            entry = self._term_contributions(term, lengths, averages)
+            if entry is None:
+                continue
+            contributions, matched_papers = entry
+            postings_scanned += len(contributions)
+            for paper_id, contribution in contributions:
+                scores[paper_id] = scores.get(paper_id, 0.0) + contribution
+            for paper_id in matched_papers:
+                matches[paper_id] = matches.get(paper_id, 0) + 1
+        if distinct_terms:
+            registry = get_registry()
+            registry.counter("index.keyword.queries").inc()
+            registry.counter("index.keyword.postings_scanned").inc(postings_scanned)
+
+        allowed = self._phrase_filter(phrases)
+        max_score = self._max_possible_score(distinct_terms)
+        normalised: Dict[str, float] = {}
+        matched: Dict[str, int] = {}
+        for paper_id, raw in scores.items():
+            if allowed is not None and paper_id not in allowed:
+                continue
+            value = min(raw / max_score, 1.0) if max_score > 0 else 0.0
+            if value <= 0.0:
+                continue
+            normalised[paper_id] = value
+            matched[paper_id] = matches[paper_id]
+        return QueryEvaluation(
+            query=query,
+            terms=tuple(distinct_terms),
+            phrases=tuple(tuple(p) for p in phrases),
+            scores=normalised,
+            matched_terms=matched,
+            max_score=max_score,
+            postings_scanned=postings_scanned,
+        )
 
     # -- ranked retrieval ----------------------------------------------------------
 
@@ -111,54 +262,12 @@ class KeywordSearchEngine:
             If True, keep only papers matching *every* distinct query term
             (boolean AND semantics, like PubMed).
         """
-        distinct_terms, phrases = self._parse_query(query)
-        if not distinct_terms:
+        evaluation = self.evaluate(query)
+        if not evaluation.terms:
             return []
-        scores: Dict[str, float] = {}
-        matches: Dict[str, set] = {}
-        postings_scanned = 0
-        for term in distinct_terms:
-            idf = self._idf(term)
-            if idf == 0.0:
-                continue
-            for posting in self.index.postings(term):
-                postings_scanned += 1
-                weight = self.section_weights.get(posting.section, 1.0)
-                tf_component = self._tf_component(posting)
-                scores[posting.paper_id] = scores.get(posting.paper_id, 0.0) + (
-                    weight * tf_component * idf
-                )
-                matches.setdefault(posting.paper_id, set()).add(term)
-        registry = get_registry()
-        registry.counter("index.keyword.queries").inc()
-        registry.counter("index.keyword.postings_scanned").inc(postings_scanned)
-        if self._lengths_cache_hits:
-            registry.gauge("index.keyword.lengths_cache_hits").set(
-                self._lengths_cache_hits
-            )
-
-        allowed = self._phrase_filter(phrases)
-        max_score = self._max_possible_score(distinct_terms)
-        hits = []
-        for paper_id, raw in scores.items():
-            if require_all_terms and len(matches[paper_id]) < len(distinct_terms):
-                continue
-            if allowed is not None and paper_id not in allowed:
-                continue
-            normalised = raw / max_score if max_score > 0 else 0.0
-            normalised = min(normalised, 1.0)
-            if normalised >= threshold:
-                hits.append(
-                    KeywordHit(
-                        paper_id=paper_id,
-                        score=normalised,
-                        matched_terms=len(matches[paper_id]),
-                    )
-                )
-        hits.sort(key=lambda hit: (-hit.score, hit.paper_id))
-        if limit is not None:
-            hits = hits[:limit]
-        return hits
+        return evaluation.hits(
+            limit=limit, threshold=threshold, require_all_terms=require_all_terms
+        )
 
     def _parse_query(self, query: str) -> Tuple[List[str], List[List[str]]]:
         """Split a query into distinct scoring terms + quoted phrase filters."""
@@ -173,7 +282,7 @@ class KeywordSearchEngine:
             terms.extend(phrase)  # phrase words still contribute to scoring
         return list(dict.fromkeys(terms)), phrases
 
-    def _phrase_filter(self, phrases: List[List[str]]) -> Optional[set]:
+    def _phrase_filter(self, phrases: Sequence[Sequence[str]]) -> Optional[set]:
         """Papers containing every quoted phrase (None = no phrase filter)."""
         if not phrases:
             return None
@@ -188,7 +297,7 @@ class KeywordSearchEngine:
             )
         allowed: Optional[set] = None
         for phrase in phrases:
-            containing = set(papers_containing_phrase(phrase))
+            containing = set(papers_containing_phrase(list(phrase)))
             allowed = containing if allowed is None else allowed & containing
             if not allowed:
                 break
@@ -196,12 +305,56 @@ class KeywordSearchEngine:
 
     # -- scoring components ----------------------------------------------------------
 
-    def _tf_component(self, posting) -> float:
+    def _term_contributions(
+        self, term, lengths=None, averages=None
+    ) -> Optional[Tuple[List[Tuple[str, float]], List[str]]]:
+        """Cached per-posting score contributions of one term.
+
+        Returns ``(contributions, matched_papers)`` where
+        ``contributions`` holds one ``(paper_id, weight * tf * idf)`` pair
+        per posting in postings order and ``matched_papers`` the distinct
+        paper ids in first-posting order; ``None`` when the term is out of
+        vocabulary (idf 0).  Cached per index revision, so repeat queries
+        replay the same float additions a fresh scan would perform.
+        """
+        revision = getattr(self.index, "revision", None)
+        with self._contrib_lock:
+            if self._contrib_revision != revision:
+                self._contrib_cache = {}
+                self._contrib_revision = revision
+            cached = self._contrib_cache.get(term, False)
+        if cached is not False:
+            return cached
+        idf = self._idf(term)
+        if idf == 0.0:
+            entry = None
+        else:
+            contributions: List[Tuple[str, float]] = []
+            matched_papers: List[str] = []
+            seen: set = set()
+            for posting in self.index.postings(term):
+                weight = self.section_weights.get(posting.section, 1.0)
+                tf_component = self._tf_component(posting, lengths, averages)
+                paper_id = posting.paper_id
+                contributions.append(
+                    (paper_id, weight * tf_component * idf)
+                )
+                if paper_id not in seen:
+                    seen.add(paper_id)
+                    matched_papers.append(paper_id)
+            entry = (contributions, matched_papers)
+        with self._contrib_lock:
+            if self._contrib_revision == revision:
+                self._contrib_cache[term] = entry
+        return entry
+
+    def _tf_component(self, posting, lengths=None, averages=None) -> float:
         """Per-posting term-frequency factor under the active scheme."""
         if self.scoring == "tfidf":
             return 1.0 + math.log(posting.term_frequency)
         # BM25 with per-section length normalisation.
-        lengths, averages = self._ensure_lengths()
+        if lengths is None:
+            lengths, averages, _ = self._lengths_state()
         length = lengths.get((posting.paper_id, posting.section), 0)
         average = averages.get(posting.section, 0.0)
         denominator_norm = 1.0 - self.b + (
@@ -210,20 +363,23 @@ class KeywordSearchEngine:
         tf = posting.term_frequency
         return tf * (self.k1 + 1.0) / (tf + self.k1 * denominator_norm)
 
-    def _ensure_lengths(self):
-        # Invalidate when the index's paper count changed (papers added or
-        # removed since the lengths were computed).
-        if (
-            self._section_lengths is not None
-            and getattr(self, "_lengths_n_papers", None) != self.index.n_papers
-        ):
-            self._section_lengths = None
-            self._avg_section_length = None
-        if self._section_lengths is not None:
-            # Plain int, not a registry counter: this runs once per posting
-            # under BM25.  search() flushes it to a gauge per query.
-            self._lengths_cache_hits += 1
-        if self._section_lengths is None:
+    def _lengths_state(self):
+        """The BM25 section-length tables plus whether they were cached.
+
+        The cache keys on the index's mutation *revision*, not its paper
+        count: replacing a paper (remove + add) keeps ``n_papers`` stable
+        but must still invalidate the stored lengths.
+        """
+        with self._lengths_lock:
+            if (
+                self._section_lengths is not None
+                and self._lengths_revision
+                != getattr(self.index, "revision", None)
+            ):
+                self._section_lengths = None
+                self._avg_section_length = None
+            if self._section_lengths is not None:
+                return self._section_lengths, self._avg_section_length, True
             lengths: Dict[Tuple[str, Section], int] = {}
             totals: Dict[Section, int] = {}
             counts: Dict[Section, int] = {}
@@ -238,32 +394,23 @@ class KeywordSearchEngine:
             self._avg_section_length = {
                 section: totals[section] / counts[section] for section in totals
             }
-            self._lengths_n_papers = self.index.n_papers
-        return self._section_lengths, self._avg_section_length
+            self._lengths_revision = getattr(self.index, "revision", None)
+            return self._section_lengths, self._avg_section_length, False
+
+    def _ensure_lengths(self):
+        """Backward-compatible accessor for the BM25 length tables."""
+        lengths, averages, _ = self._lengths_state()
+        return lengths, averages
 
     def match_score(self, query: str, paper_id: str) -> float:
         """Text-matching score of one (query, paper) pair in [0, 1].
 
         This is the ``text_matching_score(p, q)`` component of the
-        relevancy formula in section 3.
+        relevancy formula in section 3.  Identical by construction to the
+        score :meth:`search` would give the paper (both read the same
+        :class:`QueryEvaluation`), including quoted-phrase filters.
         """
-        distinct_terms, _phrases = self._parse_query(query)
-        if not distinct_terms:
-            return 0.0
-        raw = 0.0
-        for term in distinct_terms:
-            idf = self._idf(term)
-            if idf == 0.0:
-                continue
-            for section, weight in self.section_weights.items():
-                tf = self.index.term_frequency(paper_id, term, section)
-                if tf > 0:
-                    posting = _ScoringPosting(paper_id, section, tf)
-                    raw += weight * self._tf_component(posting) * idf
-        max_score = self._max_possible_score(distinct_terms)
-        if max_score == 0.0:
-            return 0.0
-        return min(raw / max_score, 1.0)
+        return self.evaluate(query).score(paper_id)
 
     # -- PubMed-style unranked retrieval --------------------------------------------
 
@@ -272,7 +419,8 @@ class KeywordSearchEngine:
 
         Reproduces the PubMed behaviour described in the introduction:
         "PubMed simply lists search results in descending order of their
-        PubMed ids or publication years."
+        PubMed ids or publication years."  Within one year, higher
+        (later-assigned) paper ids come first.
         """
         query_terms = list(dict.fromkeys(self.index.analyzer.analyze(query)))
         if not query_terms:
@@ -283,8 +431,8 @@ class KeywordSearchEngine:
         result = set.intersection(*candidate_sets)
         return sorted(
             result,
-            key=lambda pid: (-corpus.paper(pid).year, pid),
-            reverse=False,
+            key=lambda pid: (corpus.paper(pid).year, pid),
+            reverse=True,
         )
 
     # -- internals --------------------------------------------------------------------
@@ -313,12 +461,3 @@ class KeywordSearchEngine:
             for term in distinct_terms
             if self._idf(term) > 0.0
         )
-
-
-@dataclass(frozen=True)
-class _ScoringPosting:
-    """Minimal posting stand-in for scoring one (paper, section, tf) cell."""
-
-    paper_id: str
-    section: Section
-    term_frequency: int

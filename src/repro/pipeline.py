@@ -14,7 +14,9 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.citations.graph import CitationGraph
 from repro.core.assignment import PatternContextAssigner, TextContextAssigner
@@ -27,7 +29,7 @@ from repro.core.scores import (
     PrestigeScores,
     TextPrestige,
 )
-from repro.core.search import ContextSearchEngine, SearchHit
+from repro.core.search import ContextSearchEngine, SearchHit, SELECTION_STRATEGIES
 from repro.core.vectors import PaperVectorStore
 from repro.corpus.corpus import Corpus
 from repro.datagen.corpus_gen import CorpusGenerator, GeneratedDataset
@@ -36,6 +38,55 @@ from repro.index.inverted import InvertedIndex
 from repro.index.search import KeywordSearchEngine
 from repro.obs import get_registry, span
 from repro.ontology.ontology import Ontology
+
+
+class SearchResultCache:
+    """Bounded, thread-safe LRU cache of merged search results.
+
+    Serving-layer component: :class:`Pipeline` keys it on the full query
+    identity (query string, prestige function, paper set, selection
+    strategy, limit, threshold), so two requests that could rank
+    differently never share an entry.  Hits/misses/evictions are counted
+    as ``search.cache.{hit,miss,evict}``.  The cache holds derived data
+    only and is invalidated explicitly whenever an artifact that feeds
+    ranking is (re)installed -- see
+    :meth:`Pipeline.invalidate_serving_caches`.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple, List[SearchHit]]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: Tuple) -> Optional[List[SearchHit]]:
+        registry = get_registry()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                registry.counter("search.cache.miss").inc()
+                return None
+            self._entries.move_to_end(key)
+            registry.counter("search.cache.hit").inc()
+            return list(entry)
+
+    def put(self, key: Tuple, hits: Sequence[SearchHit]) -> None:
+        registry = get_registry()
+        with self._lock:
+            self._entries[key] = list(hits)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                registry.counter("search.cache.evict").inc()
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
 
 
 class Pipeline:
@@ -51,6 +102,8 @@ class Pipeline:
     min_context_size:
         Contexts smaller than this are dropped from the *experiment* view
         (the paper excludes small contexts); search still uses all.
+    result_cache_size:
+        Capacity of the serving-side LRU result cache (entries).
     """
 
     def __init__(
@@ -62,6 +115,7 @@ class Pipeline:
         min_context_size: int = 5,
         w_prestige: float = 0.7,
         w_matching: float = 0.3,
+        result_cache_size: int = 256,
     ) -> None:
         self.corpus = corpus
         self.ontology = ontology
@@ -81,6 +135,9 @@ class Pipeline:
         self._pattern_paper_set: Optional[ContextPaperSet] = None
         self._representatives: Optional[Dict[str, str]] = None
         self._scores: Dict[str, PrestigeScores] = {}
+        self._engines: Dict[Tuple[str, str, str], ContextSearchEngine] = {}
+        self._engines_lock = threading.Lock()
+        self._result_cache = SearchResultCache(capacity=result_cache_size)
 
     @classmethod
     def from_dataset(cls, dataset: GeneratedDataset, **kwargs) -> "Pipeline":
@@ -263,7 +320,21 @@ class Pipeline:
                 scores_path
             )
             loaded += 1
+        if loaded:
+            self.invalidate_serving_caches()
         return loaded
+
+    def invalidate_serving_caches(self) -> None:
+        """Drop memoised search engines and cached search results.
+
+        Called automatically whenever an artifact that feeds ranking is
+        (re)installed -- :meth:`load_precomputed`, workspace hydration --
+        and available for explicit use after hand-mutating pipeline
+        state.  Cheap when the caches are already empty.
+        """
+        with self._engines_lock:
+            self._engines.clear()
+        self._result_cache.clear()
 
     # -- workspace (artifact graph) ------------------------------------------------
 
@@ -356,20 +427,54 @@ class Pipeline:
     # -- search ------------------------------------------------------------------------
 
     def search_engine(
-        self, function: str = "text", paper_set_name: str = "text"
+        self,
+        function: str = "text",
+        paper_set_name: str = "text",
+        selection_strategy: str = "probe",
     ) -> ContextSearchEngine:
-        """A context search engine over the chosen paper set + prestige."""
+        """A context search engine over the chosen paper set + prestige.
+
+        Engines are memoised per (function, paper set, selection
+        strategy): constructing one costs nothing, but a *warm* engine
+        carries per-context caches worth keeping across queries -- the
+        paper's pre-process-once/serve-many discipline.  The
+        ``representative`` strategy is wired to the pipeline's vector
+        store and representatives map automatically.
+        """
+        if selection_strategy not in SELECTION_STRATEGIES:
+            raise ValueError(
+                f"selection_strategy must be one of {SELECTION_STRATEGIES}, "
+                f"got {selection_strategy!r}"
+            )
+        key = (function, paper_set_name, selection_strategy)
+        with self._engines_lock:
+            engine = self._engines.get(key)
+            if engine is not None:
+                return engine
+        # Build outside the lock: prestige/paper-set computation can be
+        # expensive and must not serialise unrelated engine lookups.
         paper_set = (
             self.text_paper_set if paper_set_name == "text" else self.pattern_paper_set
         )
-        return ContextSearchEngine(
+        engine = ContextSearchEngine(
             self.ontology,
             paper_set,
             self.prestige(function, paper_set_name),
             self.keyword_engine,
             w_prestige=self.w_prestige,
             w_matching=self.w_matching,
+            selection_strategy=selection_strategy,
+            vectors=(
+                self.vectors if selection_strategy == "representative" else None
+            ),
+            representatives=(
+                self.representatives
+                if selection_strategy == "representative"
+                else None
+            ),
         )
+        with self._engines_lock:
+            return self._engines.setdefault(key, engine)
 
     def search(
         self,
@@ -378,16 +483,92 @@ class Pipeline:
         paper_set_name: str = "text",
         limit: Optional[int] = 10,
         threshold: float = 0.0,
+        selection_strategy: str = "probe",
+        use_cache: bool = True,
     ) -> List[SearchHit]:
-        """One-call context-based search with sensible defaults."""
+        """One-call context-based search with sensible defaults.
+
+        Results are served from a bounded LRU cache when an identical
+        request (same query, function, paper set, strategy, limit,
+        threshold) was answered since the last artifact change; pass
+        ``use_cache=False`` to force a fresh evaluation.
+        """
+        key = (query, function, paper_set_name, selection_strategy, limit, threshold)
         with span(
             "pipeline.search",
             query=query,
             function=function,
             paper_set=paper_set_name,
-        ):
-            engine = self.search_engine(function, paper_set_name)
-            return engine.search(query, threshold=threshold, limit=limit)
+        ) as trace:
+            if use_cache:
+                cached = self._result_cache.get(key)
+                if cached is not None:
+                    trace.set(cache="hit", hits=len(cached))
+                    return cached
+            engine = self.search_engine(function, paper_set_name, selection_strategy)
+            hits = engine.search(query, threshold=threshold, limit=limit)
+            if use_cache:
+                trace.set(cache="miss")
+                self._result_cache.put(key, hits)
+            return hits
+
+    def search_many(
+        self,
+        queries: Sequence[str],
+        function: str = "text",
+        paper_set_name: str = "text",
+        limit: Optional[int] = 10,
+        threshold: float = 0.0,
+        selection_strategy: str = "probe",
+        max_workers: int = 4,
+        use_cache: bool = True,
+    ) -> List[List[SearchHit]]:
+        """Batch search: answer independent queries concurrently.
+
+        Cached queries are answered inline; the misses fan out through
+        :meth:`ContextSearchEngine.search_many` on a thread pool.  The
+        returned list is index-aligned with ``queries`` (deterministic
+        merge), and each miss populates the result cache.
+        """
+        queries = list(queries)
+        with span(
+            "pipeline.search_many",
+            queries=len(queries),
+            function=function,
+            paper_set=paper_set_name,
+        ) as trace:
+            results: List[Optional[List[SearchHit]]] = [None] * len(queries)
+            misses: List[int] = []
+            for position, query in enumerate(queries):
+                key = (
+                    query, function, paper_set_name, selection_strategy,
+                    limit, threshold,
+                )
+                cached = self._result_cache.get(key) if use_cache else None
+                if cached is not None:
+                    results[position] = cached
+                else:
+                    misses.append(position)
+            trace.set(cached=len(queries) - len(misses))
+            if misses:
+                engine = self.search_engine(
+                    function, paper_set_name, selection_strategy
+                )
+                fresh = engine.search_many(
+                    [queries[i] for i in misses],
+                    max_workers=max_workers,
+                    threshold=threshold,
+                    limit=limit,
+                )
+                for position, hits in zip(misses, fresh):
+                    results[position] = hits
+                    if use_cache:
+                        key = (
+                            queries[position], function, paper_set_name,
+                            selection_strategy, limit, threshold,
+                        )
+                        self._result_cache.put(key, hits)
+            return [hits if hits is not None else [] for hits in results]
 
     # -- experiment views ----------------------------------------------------------------
 

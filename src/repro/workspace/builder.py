@@ -274,6 +274,12 @@ def open_workspace(pipeline, directory: PathLike, strict: bool = True) -> int:
                 continue
             _load_artifact(pipeline, directory, status.name)
             loaded += 1
+        if loaded:
+            # Hydration replaced ranking inputs: memoised engines and
+            # cached results built from the old objects must go.
+            invalidate = getattr(pipeline, "invalidate_serving_caches", None)
+            if invalidate is not None:
+                invalidate()
     return loaded
 
 

@@ -78,6 +78,62 @@ class TestSearch:
         with pytest.raises(SystemExit, match="not found"):
             main(["search", "--data", str(tmp_path), "--query", "x"])
 
+    def test_selection_strategy_flag(self, data_dir, capsys):
+        code = main([
+            "search", "--data", str(data_dir), "--query", "anything goes",
+            "--selection-strategy", "name",
+        ])
+        capsys.readouterr()
+        assert code in (0, 1)  # parsed and served (1 = no results)
+
+    def test_selection_strategy_rejects_unknown(self, data_dir, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "search", "--data", str(data_dir), "--query", "x",
+                "--selection-strategy", "oracle",
+            ])
+
+    def test_queries_file_batch(self, data_dir, tmp_path, capsys):
+        obo_text = (data_dir / "ontology.obo").read_text(encoding="utf-8")
+        names = [
+            " ".join(line.split()[1:3])
+            for line in obo_text.splitlines()
+            if line.startswith("name: ") and len(line.split()) > 3
+        ]
+        queries_file = tmp_path / "queries.txt"
+        queries_file.write_text(
+            "# validation queries\n" + "\n".join(names[:3]) + "\n\n",
+            encoding="utf-8",
+        )
+        code = main([
+            "search", "--data", str(data_dir),
+            "--queries-file", str(queries_file), "--workers", "2",
+        ])
+        output = capsys.readouterr().out
+        assert code in (0, 1)
+        for query in names[:3]:
+            assert f"== {query}" in output
+
+    def test_queries_file_missing_fails(self, data_dir):
+        with pytest.raises(SystemExit, match="queries file"):
+            main([
+                "search", "--data", str(data_dir),
+                "--queries-file", "/nonexistent/queries.txt",
+            ])
+
+    def test_query_and_queries_file_are_exclusive(self, data_dir, tmp_path):
+        queries_file = tmp_path / "q.txt"
+        queries_file.write_text("x\n", encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main([
+                "search", "--data", str(data_dir), "--query", "x",
+                "--queries-file", str(queries_file),
+            ])
+
+    def test_one_query_source_required(self, data_dir):
+        with pytest.raises(SystemExit):
+            main(["search", "--data", str(data_dir)])
+
 
 class TestBuild:
     def test_workspace_written(self, data_dir, capsys):

@@ -129,3 +129,66 @@ class TestSectionWeights:
         )
         hits = title_heavy.search("structures")
         assert hits[0].paper_id == "P2"
+
+
+class TestSameYearTieBreak:
+    @pytest.fixture
+    def same_year_corpus(self):
+        return Corpus(
+            [
+                Paper(paper_id="P10", title="gene alpha", year=2003),
+                Paper(paper_id="P30", title="gene gamma", year=2003),
+                Paper(paper_id="P20", title="gene beta", year=2003),
+                Paper(paper_id="P05", title="gene delta", year=2001),
+            ]
+        )
+
+    def test_same_year_papers_order_by_descending_id(self, same_year_corpus):
+        # Regression: the docstring promises "latest first"; within a year
+        # that means descending paper id, not ascending.
+        engine = KeywordSearchEngine(
+            InvertedIndex().index_corpus(same_year_corpus)
+        )
+        result = engine.search_unranked("gene", same_year_corpus)
+        assert result == ["P30", "P20", "P10", "P05"]
+
+
+class TestBm25LengthCacheInvalidation:
+    def test_replacing_a_paper_invalidates_cached_lengths(self, corpus):
+        # remove + add keeps n_papers stable, so a count-keyed cache would
+        # serve stale section lengths; the revision counter must not.
+        index = InvertedIndex().index_corpus(corpus)
+        engine = KeywordSearchEngine(index, scoring="bm25")
+        before = {h.paper_id: h.score for h in engine.search("gene")}
+        index.remove_paper("P2")
+        index.index_paper(
+            Paper(
+                paper_id="P2",
+                title="Gene gene gene gene gene",
+                abstract="gene gene gene gene gene gene",
+                year=2004,
+            )
+        )
+        assert index.n_papers == 3  # same count, different content
+        after = {h.paper_id: h.score for h in engine.search("gene")}
+        assert after != before
+        # The fresh lengths must reflect the replacement exactly.
+        rebuilt = KeywordSearchEngine(index, scoring="bm25")
+        assert {h.paper_id: h.score for h in rebuilt.search("gene")} == after
+
+    def test_lengths_cache_hits_counts_cached_queries(self, corpus):
+        from repro.obs import reset_registry
+
+        registry = reset_registry()
+        engine = KeywordSearchEngine(
+            InvertedIndex().index_corpus(corpus), scoring="bm25"
+        )
+        counters = lambda: registry.snapshot()["counters"].get(
+            "index.keyword.lengths_cache_hits", 0
+        )
+        engine.search("gene")  # builds the tables: a miss
+        assert counters() == 0
+        engine.search("gene expression")
+        engine.search("protein")
+        assert counters() == 2  # one increment per cached query, not per posting
+        reset_registry()

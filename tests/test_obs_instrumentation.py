@@ -77,7 +77,10 @@ class TestPipelineSearchSpans:
 
     def test_score_function_timing_recorded(self, pipeline):
         registry = reset_registry()
-        pipeline._scores.clear()  # force prestige recomputation
+        # Force prestige recomputation: drop the scores AND the serving
+        # caches (memoised engines hold a reference to the old scores).
+        pipeline._scores.clear()
+        pipeline.invalidate_serving_caches()
         pipeline.search("gene expression", limit=5)
         snapshot = registry.snapshot()
         assert snapshot["histograms"]["scores.text.seconds"]["count"] >= 1

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Fail CI when a stored benchmark result regresses below its floor.
+
+Reads ``benchmarks/results/BENCH_query_serving_speedup.json`` (written by
+``benchmarks/test_perf_query_serving.py``) and exits 1 if the recorded
+single-query speedup of the single-scan serving path over the legacy
+two-scan path has dropped below the floor the benchmark asserts.  The
+floor travels inside the payload so bench and gate cannot drift apart.
+
+When no result file exists (the benchmarks have not been run on this
+checkout) the check is skipped with exit 0 -- the gate guards recorded
+results, it does not force a bench run into every CI invocation.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "benchmarks" / "results" / "BENCH_query_serving_speedup.json"
+#: Fallback floor when an old payload carries none.
+DEFAULT_FLOOR = 3.0
+
+
+def main() -> int:
+    if not RESULT_PATH.exists():
+        print(
+            f"check_bench_regression: {RESULT_PATH.relative_to(REPO_ROOT)} "
+            "not found; skipping (run the benchmarks to record a result)"
+        )
+        return 0
+    try:
+        payload = json.loads(RESULT_PATH.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"check_bench_regression: cannot read result payload: {error}")
+        return 1
+    speedup = payload.get("single_query_speedup")
+    floor = payload.get("floor", DEFAULT_FLOOR)
+    if not isinstance(speedup, (int, float)):
+        print(
+            "check_bench_regression: payload has no numeric "
+            f"'single_query_speedup': {payload!r}"
+        )
+        return 1
+    if speedup < floor:
+        print(
+            f"check_bench_regression: single-query serving speedup {speedup}x "
+            f"is below the {floor}x floor -- the single-scan fast path has "
+            "regressed (see benchmarks/test_perf_query_serving.py)"
+        )
+        return 1
+    print(
+        f"check_bench_regression: serving speedup {speedup}x >= {floor}x floor"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

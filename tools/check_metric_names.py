@@ -8,6 +8,11 @@ dot-separated lowercase segments (``^[a-z][a-z0-9_]*(\\.[a-z][a-z0-9_]*){2,}$``)
 An f-string placeholder (``scores.{self.name}.seconds``) counts as one
 wildcard segment, so dynamic families stay lintable.
 
+Additionally, every metric name emitted from ``src/`` must appear in the
+metric catalog of ``docs/observability.md`` (``<function>``-style
+placeholders in the docs match any segment) -- adding a metric without
+documenting it fails CI.
+
 Exit status 1 when any violation is found; intended for tools/ci.sh.
 The runtime enforces the same rule (repro.obs.metrics.validate_metric_name)
 -- this lint just fails earlier, without executing the code path.
@@ -53,19 +58,62 @@ def check_name(name: str, is_fstring: bool) -> bool:
     return True
 
 
-def scan_file(path: Path) -> list:
+#: The human-maintained metric catalog every src/ metric must appear in.
+CATALOG_PATH = "docs/observability.md"
+#: Backticked names in the catalog: segments are lowercase literals or
+#: ``<placeholder>`` wildcards.
+CATALOG_NAME_RE = re.compile(
+    r"`((?:[a-z][a-z0-9_]*|<[a-z_]+>)(?:\.(?:[a-z][a-z0-9_]*|<[a-z_]+>)){2,})`"
+)
+
+
+def catalog_names() -> list:
+    """Documented metric names as segment tuples (wildcards = None)."""
+    text = (REPO_ROOT / CATALOG_PATH).read_text(encoding="utf-8")
+    names = []
+    for match in CATALOG_NAME_RE.finditer(text):
+        segments = tuple(
+            None if segment.startswith("<") else segment
+            for segment in match.group(1).split(".")
+        )
+        names.append(segments)
+    return names
+
+
+def in_catalog(name: str, is_fstring: bool, catalog: list) -> bool:
+    """True when a src/ metric name matches a documented entry."""
+    if is_fstring:
+        name = PLACEHOLDER_RE.sub(_WILDCARD, name)
+    segments = name.split(".")
+    for documented in catalog:
+        if len(documented) != len(segments):
+            continue
+        if all(
+            doc is None or src == _WILDCARD or doc == src
+            for doc, src in zip(documented, segments)
+        ):
+            return True
+    return False
+
+
+def scan_file(path: Path, catalog=None) -> list:
     violations = []
     text = path.read_text(encoding="utf-8")
     for match in CALL_RE.finditer(text):
         is_fstring, name = bool(match.group(1)), match.group(3)
+        line = text.count("\n", 0, match.start()) + 1
         if not check_name(name, is_fstring):
-            line = text.count("\n", 0, match.start()) + 1
-            violations.append((path, line, name))
+            violations.append((path, line, name, "bad segment shape"))
+        elif catalog is not None and not in_catalog(name, is_fstring, catalog):
+            violations.append(
+                (path, line, name, f"not documented in {CATALOG_PATH}")
+            )
     return violations
 
 
 def main() -> int:
     violations = []
+    catalog = catalog_names()
     for directory in SCAN_DIRS:
         root = REPO_ROOT / directory
         if not root.is_dir():
@@ -73,13 +121,20 @@ def main() -> int:
         for path in sorted(root.rglob("*.py")):
             if str(path.relative_to(REPO_ROOT)) in EXEMPT:
                 continue
-            violations.extend(scan_file(path))
+            # Only src/ metrics must be catalogued; tests and benches may
+            # mint throwaway names, which still must follow the shape.
+            violations.extend(
+                scan_file(path, catalog if directory == "src" else None)
+            )
     if violations:
-        print("metric-name convention violations (need stage.component.metric):")
-        for path, line, name in violations:
-            print(f"  {path.relative_to(REPO_ROOT)}:{line}: {name!r}")
+        print("metric-name violations:")
+        for path, line, name, reason in violations:
+            print(f"  {path.relative_to(REPO_ROOT)}:{line}: {name!r} ({reason})")
         return 1
-    print("check_metric_names: all metric names follow stage.component.metric")
+    print(
+        "check_metric_names: all metric names follow stage.component.metric "
+        "and src/ names are catalogued"
+    )
     return 0
 
 

@@ -17,5 +17,9 @@ echo "== lint: workspace artifact registry =="
 python tools/check_workspace_manifest.py
 
 echo
+echo "== bench: serving-speedup regression gate =="
+python tools/check_bench_regression.py
+
+echo
 echo "== tests: tier-1 suite =="
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest -x -q
