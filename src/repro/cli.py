@@ -41,6 +41,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro import scoring
 from repro.core.search import SELECTION_STRATEGIES
 from repro.corpus import write_corpus_jsonl
 from repro.datagen import CorpusGenerator, OntologyGenerator
@@ -85,7 +86,9 @@ def _workspace_dir(data_dir: str) -> Path:
     return Path(data_dir) / "workspace"
 
 
-def _load_pipeline(data_dir: str, use_workspace: bool = True) -> Pipeline:
+def _load_pipeline(
+    data_dir: str, use_workspace: bool = True, **pipeline_kwargs
+) -> Pipeline:
     """Open a data directory; hydrate from its workspace when one exists.
 
     Hydration is non-strict: whatever is fresh loads from disk, anything
@@ -93,7 +96,7 @@ def _load_pipeline(data_dir: str, use_workspace: bool = True) -> Pipeline:
     the next start cold-start-free again).
     """
     try:
-        pipeline = Pipeline.from_directory(data_dir)
+        pipeline = Pipeline.from_directory(data_dir, **pipeline_kwargs)
     except (FileNotFoundError, ValueError) as error:
         raise SystemExit(f"error: {error}") from error
     workspace = _workspace_dir(data_dir)
@@ -143,7 +146,11 @@ def _print_hits(pipeline, query: str, hits) -> None:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    pipeline = _load_pipeline(args.data, use_workspace=not args.no_workspace)
+    pipeline = _load_pipeline(
+        args.data,
+        use_workspace=not args.no_workspace,
+        result_cache_size=0 if args.no_result_cache else 256,
+    )
     if args.queries_file is not None:
         queries = _read_queries_file(args.queries_file)
         batches = pipeline.search_many(
@@ -201,17 +208,14 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         pipeline, queries, thresholds=(0.1, 0.2, 0.3, 0.4, 0.5)
     )
     print(f"evaluating {len(queries)} queries\n")
-    for function, paper_set in (
-        ("text", "text"),
-        ("citation", "text"),
-        ("pattern", "pattern"),
-        ("citation", "pattern"),
-    ):
+    # The sweep is registry-driven: every (function, paper set) arm a
+    # registered score function declares is evaluated.
+    for function, paper_set in scoring.evaluation_arms():
         curve = experiment.run(function, paper_set)
         print(f"[{function} scores on {paper_set}-based paper set]")
         print(curve.format_table())
         print()
-    for function, paper_set in (("text", "text"), ("pattern", "pattern")):
+    for function, paper_set in scoring.evaluation_arms():
         result = SeparabilityExperiment(
             pipeline.experiment_paper_set(paper_set)
         ).run(pipeline.prestige(function, paper_set))
@@ -414,11 +418,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="file with one query per line (blank lines and # comments skipped); "
         "queries run as a concurrent batch",
     )
+    # Both choice lists derive from the scoring registry, so a function
+    # registered by a plugin is searchable with no CLI edits.
     search.add_argument(
-        "--function", choices=("text", "citation", "pattern"), default="text"
+        "--function", choices=scoring.function_names(), default="text"
     )
     search.add_argument(
-        "--paper-set", choices=("text", "pattern"), default="text"
+        "--paper-set", choices=scoring.PAPER_SET_NAMES, default="text"
     )
     search.add_argument(
         "--selection-strategy",
@@ -432,6 +438,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     search.add_argument("--limit", type=int, default=10)
     search.add_argument("--threshold", type=float, default=0.0)
+    search.add_argument(
+        "--no-result-cache",
+        action="store_true",
+        help="disable the serving-side LRU result cache (every query "
+        "evaluates fresh)",
+    )
     search.set_defaults(func=_cmd_search)
 
     evaluate = subparsers.add_parser(
@@ -486,10 +498,11 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--data", default="data")
     tune.add_argument("--queries", type=int, default=20)
     tune.add_argument(
-        "--function", choices=("text", "citation", "pattern", "hits"),
-        default="text",
+        "--function", choices=scoring.function_names(), default="text"
     )
-    tune.add_argument("--paper-set", choices=("text", "pattern"), default="text")
+    tune.add_argument(
+        "--paper-set", choices=scoring.PAPER_SET_NAMES, default="text"
+    )
     tune.set_defaults(func=_cmd_tune)
 
     ingest = subparsers.add_parser(

@@ -91,11 +91,7 @@ class RelevancyTuner:
         """
         if not w_prestige_grid or not threshold_grid:
             raise ValueError("grids must be non-empty")
-        paper_set = (
-            self.pipeline.text_paper_set
-            if self.paper_set_name == "text"
-            else self.pipeline.pattern_paper_set
-        )
+        paper_set = self.pipeline.paper_set(self.paper_set_name)
         prestige = self.pipeline.prestige(self.function, self.paper_set_name)
         points: List[TuningPoint] = []
         for w_prestige in w_prestige_grid:

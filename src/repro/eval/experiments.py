@@ -101,6 +101,19 @@ class PrecisionExperiment:
         ), get_registry().timer("eval.precision.seconds"):
             return self._run(function, paper_set_name)
 
+    def run_all(self) -> Dict[Tuple[str, str], PrecisionCurve]:
+        """Precision curves for every registry-declared evaluation arm.
+
+        The sweep is driven by :func:`repro.scoring.evaluation_arms`, so
+        a newly registered score function joins it automatically.
+        """
+        from repro import scoring
+
+        return {
+            (function, paper_set): self.run(function, paper_set)
+            for function, paper_set in scoring.evaluation_arms()
+        }
+
     def _run(self, function: str, paper_set_name: str) -> PrecisionCurve:
         engine = self.pipeline.search_engine(function, paper_set_name)
         per_threshold: List[List[float]] = [[] for _ in self.thresholds]

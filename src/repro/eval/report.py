@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+from repro import scoring
 from repro.eval.experiments import (
     OverlapExperiment,
     PrecisionExperiment,
@@ -20,9 +21,7 @@ from repro.pipeline import Pipeline
 
 
 def _paper_set_summary(pipeline: Pipeline, name: str) -> List[str]:
-    paper_set = (
-        pipeline.text_paper_set if name == "text" else pipeline.pattern_paper_set
-    )
+    paper_set = pipeline.paper_set(name)
     sizes = sorted(context.size for context in paper_set)
     if not sizes:
         return [f"- **{name}-based paper set**: empty"]
@@ -79,12 +78,7 @@ def _separability_section(pipeline: Pipeline) -> List[str]:
     lines = ["## Separability", ""]
     lines.append("| score function / paper set | mean SD | % contexts SD < 15 |")
     lines.append("|---|---|---|")
-    for function, paper_set in (
-        ("text", "text"),
-        ("citation", "text"),
-        ("pattern", "pattern"),
-        ("citation", "pattern"),
-    ):
+    for function, paper_set in scoring.evaluation_arms():
         result = SeparabilityExperiment(
             pipeline.experiment_paper_set(paper_set)
         ).run(pipeline.prestige(function, paper_set))
@@ -108,7 +102,7 @@ def _overlap_section(pipeline: Pipeline, levels: Sequence[int]) -> List[str]:
     header = "| pair | " + " | ".join(f"level {lv}" for lv in levels) + " |"
     lines.append(header)
     lines.append("|" + "---|" * (len(levels) + 1))
-    for a, b in (("text", "citation"), ("text", "pattern"), ("citation", "pattern")):
+    for a, b in scoring.overlap_pairs():
         series = experiment.run(
             pipeline.prestige(a, "pattern"), pipeline.prestige(b, "pattern")
         )
@@ -147,17 +141,7 @@ def generate_report(
     lines.append("")
 
     experiment = PrecisionExperiment(pipeline, queries, thresholds=thresholds)
-    lines.extend(
-        _precision_section(
-            experiment,
-            (
-                ("text", "text"),
-                ("citation", "text"),
-                ("pattern", "pattern"),
-                ("citation", "pattern"),
-            ),
-        )
-    )
+    lines.extend(_precision_section(experiment, scoring.evaluation_arms()))
     lines.extend(_separability_section(pipeline))
     lines.extend(_overlap_section(pipeline, levels))
     return "\n".join(lines)

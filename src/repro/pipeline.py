@@ -1,10 +1,20 @@
 """End-to-end pipeline wiring: the one-stop user-facing API.
 
-:class:`Pipeline` bundles the whole pre-processing chain of the paper --
-index, vector store, the two context paper sets, the three prestige score
-functions, and per-paper-set search engines -- behind lazily computed,
-memoised properties.  Build one from your own data or call
-:func:`build_demo_pipeline` for a seeded synthetic dataset.
+:class:`Pipeline` is a thin façade over the three layers of the system
+(see ``docs/architecture.md``):
+
+1. the **scoring registry** (:mod:`repro.scoring`) -- every prestige
+   score function, declared once, driving dispatch/CLI/workspace/sweeps;
+2. the **build layer** (:class:`~repro.serving.substrate.SubstrateStore`)
+   -- index, vectors, token cache, citation graph, the two context paper
+   sets, representatives, memoised scores, and a mutation revision;
+3. the **serve layer** (:class:`~repro.serving.view.ServingView`) -- an
+   immutable-per-refresh snapshot of memoised search engines plus the
+   LRU result cache, swapped atomically by :meth:`Pipeline.refresh` so
+   concurrent searches never observe a half-invalidated cache.
+
+Build one from your own data or call :func:`build_demo_pipeline` for a
+seeded synthetic dataset.
 
 Typical use::
 
@@ -14,22 +24,14 @@ Typical use::
 
 from __future__ import annotations
 
-import threading
-from collections import OrderedDict
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.citations.graph import CitationGraph
-from repro.core.assignment import PatternContextAssigner, TextContextAssigner
+from repro.core.assignment import PatternContextAssigner
 from repro.core.context import ContextPaperSet
 from repro.core.patterns import AnalyzedPaperCache
-from repro.core.scores import (
-    CitationPrestige,
-    HitsPrestige,
-    PatternPrestige,
-    PrestigeScores,
-    TextPrestige,
-)
-from repro.core.search import ContextSearchEngine, SearchHit, SELECTION_STRATEGIES
+from repro.core.scores import PrestigeScores
+from repro.core.search import ContextSearchEngine, SearchHit
 from repro.core.vectors import PaperVectorStore
 from repro.corpus.corpus import Corpus
 from repro.datagen.corpus_gen import CorpusGenerator, GeneratedDataset
@@ -38,55 +40,9 @@ from repro.index.inverted import InvertedIndex
 from repro.index.search import KeywordSearchEngine
 from repro.obs import get_registry, span
 from repro.ontology.ontology import Ontology
+from repro.serving import SearchResultCache, ServingView, SubstrateStore
 
-
-class SearchResultCache:
-    """Bounded, thread-safe LRU cache of merged search results.
-
-    Serving-layer component: :class:`Pipeline` keys it on the full query
-    identity (query string, prestige function, paper set, selection
-    strategy, limit, threshold), so two requests that could rank
-    differently never share an entry.  Hits/misses/evictions are counted
-    as ``search.cache.{hit,miss,evict}``.  The cache holds derived data
-    only and is invalidated explicitly whenever an artifact that feeds
-    ranking is (re)installed -- see
-    :meth:`Pipeline.invalidate_serving_caches`.
-    """
-
-    def __init__(self, capacity: int = 256) -> None:
-        if capacity < 1:
-            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
-        self.capacity = capacity
-        self._entries: "OrderedDict[Tuple, List[SearchHit]]" = OrderedDict()
-        self._lock = threading.Lock()
-
-    def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
-
-    def get(self, key: Tuple) -> Optional[List[SearchHit]]:
-        registry = get_registry()
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is None:
-                registry.counter("search.cache.miss").inc()
-                return None
-            self._entries.move_to_end(key)
-            registry.counter("search.cache.hit").inc()
-            return list(entry)
-
-    def put(self, key: Tuple, hits: Sequence[SearchHit]) -> None:
-        registry = get_registry()
-        with self._lock:
-            self._entries[key] = list(hits)
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                registry.counter("search.cache.evict").inc()
-
-    def clear(self) -> None:
-        with self._lock:
-            self._entries.clear()
+__all__ = ["Pipeline", "SearchResultCache", "build_demo_pipeline"]
 
 
 class Pipeline:
@@ -103,7 +59,8 @@ class Pipeline:
         Contexts smaller than this are dropped from the *experiment* view
         (the paper excludes small contexts); search still uses all.
     result_cache_size:
-        Capacity of the serving-side LRU result cache (entries).
+        Capacity of the serving-side LRU result cache (entries);
+        ``0`` disables result caching entirely.
     """
 
     def __init__(
@@ -117,27 +74,23 @@ class Pipeline:
         w_matching: float = 0.3,
         result_cache_size: int = 256,
     ) -> None:
-        self.corpus = corpus
-        self.ontology = ontology
-        self.training_papers = {k: list(v) for k, v in training_papers.items()}
-        self.text_similarity_threshold = text_similarity_threshold
         self.min_context_size = min_context_size
         self.w_prestige = w_prestige
         self.w_matching = w_matching
-        self._index: Optional[InvertedIndex] = None
-        self._vectors: Optional[PaperVectorStore] = None
-        self._tokens: Optional[AnalyzedPaperCache] = None
-        self._graph: Optional[CitationGraph] = None
-        self._keyword_engine: Optional[KeywordSearchEngine] = None
-        self._text_assigner: Optional[TextContextAssigner] = None
-        self._pattern_assigner: Optional[PatternContextAssigner] = None
-        self._text_paper_set: Optional[ContextPaperSet] = None
-        self._pattern_paper_set: Optional[ContextPaperSet] = None
-        self._representatives: Optional[Dict[str, str]] = None
-        self._scores: Dict[str, PrestigeScores] = {}
-        self._engines: Dict[Tuple[str, str, str], ContextSearchEngine] = {}
-        self._engines_lock = threading.Lock()
-        self._result_cache = SearchResultCache(capacity=result_cache_size)
+        self.result_cache_size = result_cache_size
+        self._store = SubstrateStore(
+            corpus,
+            ontology,
+            training_papers,
+            text_similarity_threshold=text_similarity_threshold,
+        )
+        self._serving = ServingView(
+            self._store,
+            self._store.revision,
+            w_prestige=w_prestige,
+            w_matching=w_matching,
+            result_cache_size=result_cache_size,
+        )
 
     @classmethod
     def from_dataset(cls, dataset: GeneratedDataset, **kwargs) -> "Pipeline":
@@ -185,108 +138,196 @@ class Pipeline:
             corpus=corpus, ontology=ontology, training_papers=training, **kwargs
         )
 
+    # -- layer access ---------------------------------------------------------------
+
+    @property
+    def substrates(self) -> SubstrateStore:
+        """The build layer owning every heavy substrate."""
+        return self._store
+
+    @property
+    def serving_view(self) -> ServingView:
+        """The current serve-layer snapshot (auto-refreshed when stale)."""
+        return self._view()
+
+    def _view(self) -> ServingView:
+        view = self._serving
+        if view.revision != self._store.revision:
+            return self.refresh()
+        return view
+
+    def refresh(self) -> ServingView:
+        """Swap in a fresh :class:`ServingView` (atomic reference swap).
+
+        Drops memoised search engines and cached search results in one
+        step; in-flight requests holding the previous view finish against
+        its still-consistent engine/cache pair.  Called automatically
+        whenever the substrate revision moves (artifact installation),
+        and available for explicit use after hand-mutating pipeline
+        state.
+        """
+        view = ServingView(
+            self._store,
+            self._store.revision,
+            w_prestige=self.w_prestige,
+            w_matching=self.w_matching,
+            result_cache_size=self.result_cache_size,
+        )
+        self._serving = view
+        get_registry().counter("serving.view.refresh").inc()
+        return view
+
+    def invalidate_serving_caches(self) -> None:
+        """Drop memoised search engines and cached search results.
+
+        Equivalent to :meth:`refresh`; kept as the historical spelling.
+        """
+        self.refresh()
+
+    # -- raw inputs (delegated to the substrate store) ------------------------------
+
+    @property
+    def corpus(self) -> Corpus:
+        return self._store.corpus
+
+    @property
+    def ontology(self) -> Ontology:
+        return self._store.ontology
+
+    @property
+    def training_papers(self) -> Dict[str, List[str]]:
+        return self._store.training_papers
+
+    @property
+    def text_similarity_threshold(self) -> float:
+        return self._store.text_similarity_threshold
+
     # -- shared substrates ----------------------------------------------------------
 
     @property
     def index(self) -> InvertedIndex:
-        if self._index is None:
-            self._index = InvertedIndex().index_corpus(self.corpus)
-        return self._index
+        return self._store.index
 
     @property
     def vectors(self) -> PaperVectorStore:
-        if self._vectors is None:
-            self._vectors = PaperVectorStore(self.corpus, self.index.analyzer)
-        return self._vectors
+        return self._store.vectors
 
     @property
     def tokens(self) -> AnalyzedPaperCache:
-        if self._tokens is None:
-            self._tokens = AnalyzedPaperCache(self.corpus, self.index.analyzer)
-        return self._tokens
+        return self._store.tokens
 
     @property
     def citation_graph(self) -> CitationGraph:
-        if self._graph is None:
-            self._graph = CitationGraph.from_corpus(self.corpus)
-        return self._graph
+        return self._store.citation_graph
 
     @property
     def keyword_engine(self) -> KeywordSearchEngine:
         """The PubMed-style baseline search engine."""
-        if self._keyword_engine is None:
-            self._keyword_engine = KeywordSearchEngine(self.index)
-        return self._keyword_engine
+        return self._store.keyword_engine
 
-    # -- context paper sets -----------------------------------------------------------
+    # -- context paper sets ---------------------------------------------------------
 
     @property
     def text_paper_set(self) -> ContextPaperSet:
         """The text-based context paper set (section 4, first builder)."""
-        if self._text_paper_set is None:
-            self._text_assigner = TextContextAssigner(
-                self.corpus,
-                self.ontology,
-                self.vectors,
-                self.index,
-                similarity_threshold=self.text_similarity_threshold,
-            )
-            self._text_paper_set = self._text_assigner.build(self.training_papers)
-        return self._text_paper_set
+        return self._store.text_paper_set
 
     @property
     def representatives(self) -> Dict[str, str]:
-        """Representative paper per context of the text paper set.
-
-        When the paper set was loaded from a precomputed artefact (no
-        assigner ran), representatives are re-derived from the stored
-        training papers -- the selection is deterministic, so this
-        reproduces the original choice.
-        """
-        if self._representatives is not None:
-            return dict(self._representatives)
-        paper_set = self.text_paper_set
-        if self._text_assigner is not None:
-            self._representatives = dict(self._text_assigner.representatives)
-        else:
-            from repro.core.representative import select_representatives
-
-            self._representatives = select_representatives(self.vectors, paper_set)
-        return dict(self._representatives)
+        """Representative paper per context of the text paper set."""
+        return self._store.representatives
 
     @property
     def pattern_paper_set(self) -> ContextPaperSet:
         """The pattern-based context paper set (section 4, second builder)."""
-        if self._pattern_paper_set is None:
-            _ = self.pattern_assigner  # runs the build, which installs the set
-        return self._pattern_paper_set
+        return self._store.pattern_paper_set
 
     @property
     def pattern_assigner(self) -> PatternContextAssigner:
-        """The pattern assigner, running pattern construction on first use.
+        """The pattern assigner, running pattern construction on first use."""
+        return self._store.pattern_assigner
 
-        When the pattern paper set was hydrated from a workspace, the
-        assigner has not run; accessing it (only pattern-*score* builds
-        do) re-runs pattern construction while keeping the loaded set.
-        """
-        if self._pattern_assigner is None:
-            assigner = PatternContextAssigner(
-                self.corpus, self.ontology, self.index, token_cache=self.tokens
-            )
-            built = assigner.build(self.training_papers)
-            if self._pattern_paper_set is None:
-                self._pattern_paper_set = built
-            self._pattern_assigner = assigner
-        return self._pattern_assigner
+    def paper_set(self, paper_set_name: str) -> ContextPaperSet:
+        """The context paper set named by ``paper_set_name``."""
+        return self._store.paper_set(paper_set_name)
 
-    # -- precomputed artefacts ------------------------------------------------------------
+    # -- backward-compatible private slots ------------------------------------------
+    # Older call sites (and a few tests) reach for the pre-split private
+    # attributes; these map reads to the store's raw slots (no lazy
+    # build) and writes to the store's install methods (revision bump).
+
+    @property
+    def _index(self) -> Optional[InvertedIndex]:
+        return self._store._index
+
+    @_index.setter
+    def _index(self, value: Optional[InvertedIndex]) -> None:
+        self._store.install_index(value)
+
+    @property
+    def _vectors(self) -> Optional[PaperVectorStore]:
+        return self._store._vectors
+
+    @_vectors.setter
+    def _vectors(self, value: Optional[PaperVectorStore]) -> None:
+        self._store.install_vectors(value)
+
+    @property
+    def _tokens(self) -> Optional[AnalyzedPaperCache]:
+        return self._store._tokens
+
+    @_tokens.setter
+    def _tokens(self, value: Optional[AnalyzedPaperCache]) -> None:
+        self._store.install_tokens(value)
+
+    @property
+    def _graph(self) -> Optional[CitationGraph]:
+        return self._store._graph
+
+    @_graph.setter
+    def _graph(self, value: Optional[CitationGraph]) -> None:
+        self._store.install_citation_graph(value)
+
+    @property
+    def _text_paper_set(self) -> Optional[ContextPaperSet]:
+        return self._store._text_paper_set
+
+    @_text_paper_set.setter
+    def _text_paper_set(self, value: Optional[ContextPaperSet]) -> None:
+        self._store.install_text_paper_set(value)
+
+    @property
+    def _pattern_paper_set(self) -> Optional[ContextPaperSet]:
+        return self._store._pattern_paper_set
+
+    @_pattern_paper_set.setter
+    def _pattern_paper_set(self, value: Optional[ContextPaperSet]) -> None:
+        self._store.install_pattern_paper_set(value)
+
+    @property
+    def _representatives(self) -> Optional[Dict[str, str]]:
+        return self._store._representatives
+
+    @_representatives.setter
+    def _representatives(self, value: Optional[Mapping[str, str]]) -> None:
+        self._store.install_representatives(value)
+
+    @property
+    def _scores(self) -> Dict[str, PrestigeScores]:
+        return self._store.scores
+
+    @property
+    def _result_cache(self) -> SearchResultCache:
+        return self._view().result_cache
+
+    # -- precomputed artefacts ------------------------------------------------------
 
     def load_precomputed(self, data_dir) -> int:
         """Load paper-set/score artefacts from a directory of JSON files.
 
         Any ``text_paper_set.json`` / ``pattern_paper_set.json`` /
         ``scores_<function>_<set>.json`` found is installed into the
-        pipeline's caches, short-circuiting the expensive builds.  Returns
+        substrate store, short-circuiting the expensive builds.  Returns
         the number of artefacts loaded.  Missing files are fine (you can
         precompute a subset); corrupt files raise.  For full zero-rebuild
         hydration of every substrate use :meth:`open_workspace` instead.
@@ -299,12 +340,14 @@ class Pipeline:
         loaded = 0
         text_set = data / "text_paper_set.json"
         if text_set.exists():
-            self._text_paper_set = read_context_paper_set(text_set, self.ontology)
+            self._store.install_text_paper_set(
+                read_context_paper_set(text_set, self.ontology)
+            )
             loaded += 1
         pattern_set = data / "pattern_paper_set.json"
         if pattern_set.exists():
-            self._pattern_paper_set = read_context_paper_set(
-                pattern_set, self.ontology
+            self._store.install_pattern_paper_set(
+                read_context_paper_set(pattern_set, self.ontology)
             )
             loaded += 1
         for scores_path in sorted(data.glob("scores_*_*.json")):
@@ -316,27 +359,15 @@ class Pipeline:
             )
             if not function or not paper_set_name:
                 continue
-            self._scores[f"{function}/{paper_set_name}"] = read_prestige_scores(
-                scores_path
+            self._store.install_scores(
+                f"{function}/{paper_set_name}", read_prestige_scores(scores_path)
             )
             loaded += 1
         if loaded:
-            self.invalidate_serving_caches()
+            self.refresh()
         return loaded
 
-    def invalidate_serving_caches(self) -> None:
-        """Drop memoised search engines and cached search results.
-
-        Called automatically whenever an artifact that feeds ranking is
-        (re)installed -- :meth:`load_precomputed`, workspace hydration --
-        and available for explicit use after hand-mutating pipeline
-        state.  Cheap when the caches are already empty.
-        """
-        with self._engines_lock:
-            self._engines.clear()
-        self._result_cache.clear()
-
-    # -- workspace (artifact graph) ------------------------------------------------
+    # -- workspace (artifact graph) -------------------------------------------------
 
     @classmethod
     def open_workspace(
@@ -378,53 +409,20 @@ class Pipeline:
 
         return WorkspaceBuilder(self, workspace_dir).build(only=only, force=force)
 
-    # -- prestige scores ------------------------------------------------------------------
+    # -- prestige scores ------------------------------------------------------------
 
     def prestige(self, function: str, paper_set_name: str = "text") -> PrestigeScores:
         """Memoised prestige scores.
 
-        ``function`` in {"citation", "text", "pattern", "hits"};
-        ``paper_set_name`` in {"text", "pattern"} selects the context
-        paper set, matching section 4's two experiment arms ("hits" is the
-        section-3.1 alternative the paper mentions but does not adopt).
+        ``function`` is any score function registered with
+        :mod:`repro.scoring` (``repro.scoring.function_names()`` lists
+        them); ``paper_set_name`` selects the context paper set, matching
+        section 4's two experiment arms.  Concurrent cold lookups of the
+        same key compute the scores exactly once (single-flight).
         """
-        key = f"{function}/{paper_set_name}"
-        if key in self._scores:
-            return self._scores[key]
-        with span("pipeline.prestige", function=function, paper_set=paper_set_name):
-            return self._compute_prestige(function, paper_set_name, key)
+        return self._store.prestige(function, paper_set_name)
 
-    def _compute_prestige(
-        self, function: str, paper_set_name: str, key: str
-    ) -> PrestigeScores:
-        get_registry().counter("pipeline.prestige.computed").inc()
-        paper_set = (
-            self.text_paper_set if paper_set_name == "text" else self.pattern_paper_set
-        )
-        if function == "citation":
-            scorer = CitationPrestige(self.citation_graph)
-        elif function == "hits":
-            scorer = HitsPrestige(self.citation_graph)
-        elif function == "text":
-            scorer = TextPrestige(
-                self.corpus,
-                self.vectors,
-                self.citation_graph,
-                self.representatives,
-            )
-        elif function == "pattern":
-            scorer = PatternPrestige(
-                self.pattern_assigner.pattern_sets,
-                self.tokens,
-                middle_only=True,
-            )
-        else:
-            raise ValueError(f"unknown prestige function {function!r}")
-        scores = scorer.score_all(paper_set)
-        self._scores[key] = scores
-        return scores
-
-    # -- search ------------------------------------------------------------------------
+    # -- search ---------------------------------------------------------------------
 
     def search_engine(
         self,
@@ -435,46 +433,10 @@ class Pipeline:
         """A context search engine over the chosen paper set + prestige.
 
         Engines are memoised per (function, paper set, selection
-        strategy): constructing one costs nothing, but a *warm* engine
-        carries per-context caches worth keeping across queries -- the
-        paper's pre-process-once/serve-many discipline.  The
-        ``representative`` strategy is wired to the pipeline's vector
-        store and representatives map automatically.
+        strategy) on the current serving view; see
+        :meth:`~repro.serving.view.ServingView.engine`.
         """
-        if selection_strategy not in SELECTION_STRATEGIES:
-            raise ValueError(
-                f"selection_strategy must be one of {SELECTION_STRATEGIES}, "
-                f"got {selection_strategy!r}"
-            )
-        key = (function, paper_set_name, selection_strategy)
-        with self._engines_lock:
-            engine = self._engines.get(key)
-            if engine is not None:
-                return engine
-        # Build outside the lock: prestige/paper-set computation can be
-        # expensive and must not serialise unrelated engine lookups.
-        paper_set = (
-            self.text_paper_set if paper_set_name == "text" else self.pattern_paper_set
-        )
-        engine = ContextSearchEngine(
-            self.ontology,
-            paper_set,
-            self.prestige(function, paper_set_name),
-            self.keyword_engine,
-            w_prestige=self.w_prestige,
-            w_matching=self.w_matching,
-            selection_strategy=selection_strategy,
-            vectors=(
-                self.vectors if selection_strategy == "representative" else None
-            ),
-            representatives=(
-                self.representatives
-                if selection_strategy == "representative"
-                else None
-            ),
-        )
-        with self._engines_lock:
-            return self._engines.setdefault(key, engine)
+        return self._view().engine(function, paper_set_name, selection_strategy)
 
     def search(
         self,
@@ -493,6 +455,9 @@ class Pipeline:
         threshold) was answered since the last artifact change; pass
         ``use_cache=False`` to force a fresh evaluation.
         """
+        view = self._view()
+        cache = view.result_cache
+        caching = use_cache and cache.enabled
         key = (query, function, paper_set_name, selection_strategy, limit, threshold)
         with span(
             "pipeline.search",
@@ -500,16 +465,16 @@ class Pipeline:
             function=function,
             paper_set=paper_set_name,
         ) as trace:
-            if use_cache:
-                cached = self._result_cache.get(key)
+            if caching:
+                cached = cache.get(key)
                 if cached is not None:
                     trace.set(cache="hit", hits=len(cached))
                     return cached
-            engine = self.search_engine(function, paper_set_name, selection_strategy)
+            engine = view.engine(function, paper_set_name, selection_strategy)
             hits = engine.search(query, threshold=threshold, limit=limit)
-            if use_cache:
+            if caching:
                 trace.set(cache="miss")
-                self._result_cache.put(key, hits)
+                cache.put(key, hits)
             return hits
 
     def search_many(
@@ -528,9 +493,14 @@ class Pipeline:
         Cached queries are answered inline; the misses fan out through
         :meth:`ContextSearchEngine.search_many` on a thread pool.  The
         returned list is index-aligned with ``queries`` (deterministic
-        merge), and each miss populates the result cache.
+        merge), and each miss populates the result cache.  The whole
+        batch is served from one :class:`ServingView` snapshot, so a
+        concurrent :meth:`refresh` cannot tear it.
         """
         queries = list(queries)
+        view = self._view()
+        cache = view.result_cache
+        caching = use_cache and cache.enabled
         with span(
             "pipeline.search_many",
             queries=len(queries),
@@ -544,16 +514,14 @@ class Pipeline:
                     query, function, paper_set_name, selection_strategy,
                     limit, threshold,
                 )
-                cached = self._result_cache.get(key) if use_cache else None
+                cached = cache.get(key) if caching else None
                 if cached is not None:
                     results[position] = cached
                 else:
                     misses.append(position)
             trace.set(cached=len(queries) - len(misses))
             if misses:
-                engine = self.search_engine(
-                    function, paper_set_name, selection_strategy
-                )
+                engine = view.engine(function, paper_set_name, selection_strategy)
                 fresh = engine.search_many(
                     [queries[i] for i in misses],
                     max_workers=max_workers,
@@ -562,22 +530,21 @@ class Pipeline:
                 )
                 for position, hits in zip(misses, fresh):
                     results[position] = hits
-                    if use_cache:
+                    if caching:
                         key = (
                             queries[position], function, paper_set_name,
                             selection_strategy, limit, threshold,
                         )
-                        self._result_cache.put(key, hits)
+                        cache.put(key, hits)
             return [hits if hits is not None else [] for hits in results]
 
-    # -- experiment views ----------------------------------------------------------------
+    # -- experiment views -----------------------------------------------------------
 
     def experiment_paper_set(self, paper_set_name: str = "text") -> ContextPaperSet:
         """The paper set with small contexts excluded (experiment view)."""
-        paper_set = (
-            self.text_paper_set if paper_set_name == "text" else self.pattern_paper_set
+        return self._store.paper_set(paper_set_name).filter_small(
+            self.min_context_size
         )
-        return paper_set.filter_small(self.min_context_size)
 
 
 def build_demo_pipeline(

@@ -1,0 +1,100 @@
+"""Registrations of the paper's score functions (sections 3.1-3.3).
+
+Importing this module (which :mod:`repro.scoring` does on package
+import) registers the built-in functions.  Each factory receives the
+pipeline's :class:`~repro.serving.substrate.SubstrateStore` and returns
+a ready :class:`~repro.core.scores.base.PrestigeScoreFunction`; the
+``substrates`` tuples name the workspace artifacts the computed scores
+depend on, which is exactly the fingerprint chain each persisted
+``scores_<function>_<paper_set>.json`` artifact declares.
+
+The declared ``paper_sets`` reproduce the paper's experiment arms:
+
+- ``text`` scores on the text-based paper set (3.2 needs the
+  representatives only the text set has);
+- ``citation`` scores on both paper sets (3.1 is set-agnostic);
+- ``pattern`` scores on the pattern-based paper set (3.3 needs the
+  mined pattern sets);
+- ``hits`` is the section-3.1 road-not-taken: registered so it stays
+  searchable and tunable, but with no arms -- it joins no sweep and is
+  not persisted, matching the paper's choice of PageRank.
+"""
+
+from __future__ import annotations
+
+from repro.core.scores import (
+    CitationPrestige,
+    HitsPrestige,
+    PatternPrestige,
+    TextPrestige,
+)
+from repro.scoring.registry import ScoreFunctionSpec, register
+
+
+def _citation_factory(substrates) -> CitationPrestige:
+    return CitationPrestige(substrates.citation_graph)
+
+
+def _hits_factory(substrates) -> HitsPrestige:
+    return HitsPrestige(substrates.citation_graph)
+
+
+def _text_factory(substrates) -> TextPrestige:
+    return TextPrestige(
+        substrates.corpus,
+        substrates.vectors,
+        substrates.citation_graph,
+        substrates.representatives,
+    )
+
+
+def _pattern_factory(substrates) -> PatternPrestige:
+    return PatternPrestige(
+        substrates.pattern_assigner.pattern_sets,
+        substrates.tokens,
+        middle_only=True,
+    )
+
+
+register(
+    ScoreFunctionSpec(
+        name="text",
+        factory=_text_factory,
+        substrates=("vectors", "citation_graph", "representatives"),
+        paper_sets=("text",),
+        description="multi-facet similarity to the context representative (3.2)",
+        in_overlap=True,
+    )
+)
+
+register(
+    ScoreFunctionSpec(
+        name="citation",
+        factory=_citation_factory,
+        substrates=("citation_graph",),
+        paper_sets=("text", "pattern"),
+        description="per-context PageRank over the induced citation subgraph (3.1)",
+        in_overlap=True,
+    )
+)
+
+register(
+    ScoreFunctionSpec(
+        name="pattern",
+        factory=_pattern_factory,
+        substrates=("tokens",),
+        paper_sets=("pattern",),
+        description="pattern-matching prestige over mined patterns (3.3)",
+        in_overlap=True,
+    )
+)
+
+register(
+    ScoreFunctionSpec(
+        name="hits",
+        factory=_hits_factory,
+        substrates=("citation_graph",),
+        paper_sets=(),
+        description="per-context HITS authority (3.1 alternative; searchable only)",
+    )
+)

@@ -1,0 +1,13 @@
+"""Build/serve layer split (see ``docs/architecture.md``).
+
+:class:`~repro.serving.substrate.SubstrateStore` is the mutable build
+layer (index, vectors, graph, paper sets, scores, revision counter);
+:class:`~repro.serving.view.ServingView` is the immutable-per-refresh
+serve layer (memoised engines + LRU result cache) the pipeline swaps
+atomically.
+"""
+
+from repro.serving.substrate import SubstrateStore
+from repro.serving.view import SearchResultCache, ServingView
+
+__all__ = ["SubstrateStore", "SearchResultCache", "ServingView"]

@@ -1,0 +1,301 @@
+"""The build layer: a :class:`SubstrateStore` owning every heavy artefact.
+
+The store holds the raw inputs (corpus, ontology, training papers) and
+the substrates derived from them -- inverted index, vector store, token
+cache, citation graph, the two context paper sets, representatives, and
+memoised prestige scores.  Substrates build lazily on first access and
+can be *installed* directly (workspace hydration, ``load_precomputed``);
+every installation bumps a monotonically increasing **revision**, which
+the serving layer (:class:`~repro.serving.view.ServingView`) compares
+against to know when its memoised engines and result cache are stale.
+
+Prestige computation is single-flighted per ``function/paper_set`` key:
+concurrent cold lookups of the same scores block on one per-key lock and
+compute exactly once, while lookups of *different* keys proceed in
+parallel.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro import scoring
+from repro.citations.graph import CitationGraph
+from repro.core.assignment import PatternContextAssigner, TextContextAssigner
+from repro.core.context import ContextPaperSet
+from repro.core.patterns import AnalyzedPaperCache
+from repro.core.scores import PrestigeScores
+from repro.core.vectors import PaperVectorStore
+from repro.corpus.corpus import Corpus
+from repro.index.inverted import InvertedIndex
+from repro.index.search import KeywordSearchEngine
+from repro.obs import get_registry, span
+from repro.ontology.ontology import Ontology
+
+
+class SubstrateStore:
+    """Mutable build-layer state shared by every serving view.
+
+    Thread safety: lazy builds are serialised by a reentrant build lock
+    (substrate builds nest -- e.g. the text paper set needs vectors and
+    the index); prestige computation single-flights per key; installs
+    and the revision counter share a small mutation lock.
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        ontology: Ontology,
+        training_papers: Mapping[str, Sequence[str]],
+        text_similarity_threshold: float = 0.10,
+    ) -> None:
+        self.corpus = corpus
+        self.ontology = ontology
+        self.training_papers = {k: list(v) for k, v in training_papers.items()}
+        self.text_similarity_threshold = text_similarity_threshold
+        self._index: Optional[InvertedIndex] = None
+        self._vectors: Optional[PaperVectorStore] = None
+        self._tokens: Optional[AnalyzedPaperCache] = None
+        self._graph: Optional[CitationGraph] = None
+        self._keyword_engine: Optional[KeywordSearchEngine] = None
+        self._text_assigner: Optional[TextContextAssigner] = None
+        self._pattern_assigner: Optional[PatternContextAssigner] = None
+        self._text_paper_set: Optional[ContextPaperSet] = None
+        self._pattern_paper_set: Optional[ContextPaperSet] = None
+        self._representatives: Optional[Dict[str, str]] = None
+        self._scores: Dict[str, PrestigeScores] = {}
+        self._build_lock = threading.RLock()
+        self._mutation_lock = threading.Lock()
+        self._prestige_locks: Dict[str, threading.Lock] = {}
+        self._revision = 0
+
+    # -- revision -------------------------------------------------------------------
+
+    @property
+    def revision(self) -> int:
+        """Mutation counter; serving views compare it to detect staleness."""
+        with self._mutation_lock:
+            return self._revision
+
+    def _bump(self) -> None:
+        with self._mutation_lock:
+            self._revision += 1
+
+    # -- lazily built substrates ----------------------------------------------------
+
+    @property
+    def index(self) -> InvertedIndex:
+        if self._index is None:
+            with self._build_lock:
+                if self._index is None:
+                    self._index = InvertedIndex().index_corpus(self.corpus)
+        return self._index
+
+    @property
+    def vectors(self) -> PaperVectorStore:
+        if self._vectors is None:
+            with self._build_lock:
+                if self._vectors is None:
+                    self._vectors = PaperVectorStore(self.corpus, self.index.analyzer)
+        return self._vectors
+
+    @property
+    def tokens(self) -> AnalyzedPaperCache:
+        if self._tokens is None:
+            with self._build_lock:
+                if self._tokens is None:
+                    self._tokens = AnalyzedPaperCache(self.corpus, self.index.analyzer)
+        return self._tokens
+
+    @property
+    def citation_graph(self) -> CitationGraph:
+        if self._graph is None:
+            with self._build_lock:
+                if self._graph is None:
+                    self._graph = CitationGraph.from_corpus(self.corpus)
+        return self._graph
+
+    @property
+    def keyword_engine(self) -> KeywordSearchEngine:
+        """The PubMed-style baseline search engine."""
+        if self._keyword_engine is None:
+            with self._build_lock:
+                if self._keyword_engine is None:
+                    self._keyword_engine = KeywordSearchEngine(self.index)
+        return self._keyword_engine
+
+    @property
+    def text_paper_set(self) -> ContextPaperSet:
+        """The text-based context paper set (section 4, first builder)."""
+        if self._text_paper_set is None:
+            with self._build_lock:
+                if self._text_paper_set is None:
+                    self._text_assigner = TextContextAssigner(
+                        self.corpus,
+                        self.ontology,
+                        self.vectors,
+                        self.index,
+                        similarity_threshold=self.text_similarity_threshold,
+                    )
+                    self._text_paper_set = self._text_assigner.build(
+                        self.training_papers
+                    )
+        return self._text_paper_set
+
+    @property
+    def representatives(self) -> Dict[str, str]:
+        """Representative paper per context of the text paper set.
+
+        When the paper set was loaded from a precomputed artefact (no
+        assigner ran), representatives are re-derived from the stored
+        training papers -- the selection is deterministic, so this
+        reproduces the original choice.
+        """
+        if self._representatives is None:
+            with self._build_lock:
+                if self._representatives is None:
+                    paper_set = self.text_paper_set
+                    if self._text_assigner is not None:
+                        self._representatives = dict(
+                            self._text_assigner.representatives
+                        )
+                    else:
+                        from repro.core.representative import select_representatives
+
+                        self._representatives = select_representatives(
+                            self.vectors, paper_set
+                        )
+        return dict(self._representatives)
+
+    @property
+    def pattern_paper_set(self) -> ContextPaperSet:
+        """The pattern-based context paper set (section 4, second builder)."""
+        if self._pattern_paper_set is None:
+            _ = self.pattern_assigner  # runs the build, which installs the set
+        return self._pattern_paper_set
+
+    @property
+    def pattern_assigner(self) -> PatternContextAssigner:
+        """The pattern assigner, running pattern construction on first use.
+
+        When the pattern paper set was hydrated from a workspace, the
+        assigner has not run; accessing it (only pattern-*score* builds
+        do) re-runs pattern construction while keeping the loaded set.
+        """
+        if self._pattern_assigner is None:
+            with self._build_lock:
+                if self._pattern_assigner is None:
+                    assigner = PatternContextAssigner(
+                        self.corpus,
+                        self.ontology,
+                        self.index,
+                        token_cache=self.tokens,
+                    )
+                    built = assigner.build(self.training_papers)
+                    if self._pattern_paper_set is None:
+                        self._pattern_paper_set = built
+                    self._pattern_assigner = assigner
+        return self._pattern_assigner
+
+    def paper_set(self, paper_set_name: str) -> ContextPaperSet:
+        """The context paper set registered under ``paper_set_name``."""
+        if paper_set_name == "text":
+            return self.text_paper_set
+        if paper_set_name == "pattern":
+            return self.pattern_paper_set
+        raise ValueError(
+            f"unknown paper set {paper_set_name!r}; expected one of "
+            f"{scoring.PAPER_SET_NAMES}"
+        )
+
+    # -- prestige scores ------------------------------------------------------------
+
+    @property
+    def scores(self) -> Dict[str, PrestigeScores]:
+        """The live score memo, keyed ``<function>/<paper_set>``."""
+        return self._scores
+
+    def prestige(self, function: str, paper_set_name: str = "text") -> PrestigeScores:
+        """Memoised prestige scores, computed at most once per key.
+
+        ``function`` is any registered score function (plus any key
+        installed from precomputed artefacts); ``paper_set_name`` selects
+        the context paper set.  Concurrent cold lookups of the same key
+        single-flight on a per-key lock.
+        """
+        key = f"{function}/{paper_set_name}"
+        scores = self._scores.get(key)
+        if scores is not None:
+            return scores
+        with self._mutation_lock:
+            lock = self._prestige_locks.setdefault(key, threading.Lock())
+        with lock:
+            scores = self._scores.get(key)
+            if scores is not None:
+                return scores
+            with span(
+                "pipeline.prestige", function=function, paper_set=paper_set_name
+            ):
+                return self._compute_prestige(function, paper_set_name, key)
+
+    def _compute_prestige(
+        self, function: str, paper_set_name: str, key: str
+    ) -> PrestigeScores:
+        get_registry().counter("pipeline.prestige.computed").inc()
+        spec = scoring.get(function)
+        paper_set = self.paper_set(paper_set_name)
+        scorer = spec.factory(self)
+        scores = scorer.score_all(paper_set)
+        self._scores[key] = scores
+        return scores
+
+    # -- installation (workspace hydration / precomputed artefacts) -----------------
+
+    def install_index(self, index: Optional[InvertedIndex]) -> None:
+        with self._build_lock:
+            self._index = index
+            self._keyword_engine = None  # derived from the index
+        self._bump()
+
+    def install_vectors(self, vectors: Optional[PaperVectorStore]) -> None:
+        with self._build_lock:
+            self._vectors = vectors
+        self._bump()
+
+    def install_tokens(self, tokens: Optional[AnalyzedPaperCache]) -> None:
+        with self._build_lock:
+            self._tokens = tokens
+        self._bump()
+
+    def install_citation_graph(self, graph: Optional[CitationGraph]) -> None:
+        with self._build_lock:
+            self._graph = graph
+        self._bump()
+
+    def install_text_paper_set(self, paper_set: Optional[ContextPaperSet]) -> None:
+        with self._build_lock:
+            self._text_paper_set = paper_set
+        self._bump()
+
+    def install_pattern_paper_set(self, paper_set: Optional[ContextPaperSet]) -> None:
+        with self._build_lock:
+            self._pattern_paper_set = paper_set
+        self._bump()
+
+    def install_representatives(
+        self, representatives: Optional[Mapping[str, str]]
+    ) -> None:
+        with self._build_lock:
+            self._representatives = (
+                dict(representatives) if representatives is not None else None
+            )
+        self._bump()
+
+    def install_scores(self, key: str, scores: PrestigeScores) -> None:
+        with self._build_lock:
+            self._scores[key] = scores
+        self._bump()
+
+    def installed_score_keys(self) -> List[str]:
+        return list(self._scores)

@@ -13,6 +13,7 @@ because paper vectors are short (10^2..10^3 non-zeros).
 from __future__ import annotations
 
 import math
+import sys
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.text.vocabulary import Vocabulary
@@ -29,9 +30,20 @@ class SparseVector:
 
     @property
     def norm(self) -> float:
-        """L2 norm, cached after first computation."""
+        """L2 norm, cached after first computation.
+
+        Computed scale-invariantly (factor out the peak magnitude before
+        squaring) so vectors of tiny weights don't lose precision to
+        subnormal underflow and huge weights can't overflow.
+        """
         if self._norm is None:
-            self._norm = math.sqrt(sum(w * w for w in self.weights.values()))
+            peak = max((abs(w) for w in self.weights.values()), default=0.0)
+            if peak == 0.0:
+                self._norm = 0.0
+            else:
+                self._norm = peak * math.sqrt(
+                    sum((w / peak) ** 2 for w in self.weights.values())
+                )
         return self._norm
 
     def dot(self, other: "SparseVector") -> float:
@@ -47,10 +59,24 @@ class SparseVector:
         Returns 0.0 if either vector is empty (the conventional IR choice:
         an empty document matches nothing).
         """
-        denominator = self.norm * other.norm
-        if denominator == 0.0:
+        na, nb = self.norm, other.norm
+        if na == 0.0 or nb == 0.0:
             return 0.0
-        value = self.dot(other) / denominator
+        denominator = na * nb
+        if denominator == 0.0 or math.isinf(denominator):
+            # The norm product under/overflowed (subnormal or huge
+            # weights): normalise each factor before multiplying instead.
+            a, b = self.weights, other.weights
+            if len(a) > len(b):
+                a, b = b, a
+                na, nb = nb, na
+            value = sum(
+                (weight / na) * (b[term] / nb)
+                for term, weight in a.items()
+                if term in b
+            )
+        else:
+            value = self.dot(other) / denominator
         # Guard against floating point drift pushing past 1.
         return min(max(value, 0.0), 1.0)
 
@@ -59,6 +85,14 @@ class SparseVector:
         n = self.norm
         if n == 0.0:
             return SparseVector()
+        if n < sys.float_info.min:
+            # A subnormal norm carries too little precision to divide by:
+            # rescale by the peak magnitude first, then normalise the
+            # well-conditioned intermediate.
+            peak = max(abs(w) for w in self.weights.values())
+            scaled = {t: w / peak for t, w in self.weights.items()}
+            m = math.sqrt(sum(v * v for v in scaled.values()))
+            return SparseVector({t: v / m for t, v in scaled.items()})
         return SparseVector({t: w / n for t, w in self.weights.items()})
 
     def scaled(self, factor: float) -> "SparseVector":

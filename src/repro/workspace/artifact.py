@@ -8,8 +8,9 @@ pipeline substrate as a first-class build product:
   beforehand are reused, never rebuilt);
 - ``save(obj, path)`` / ``load(path, pipeline)`` -- the typed codec
   (format-tagged JSON; see :mod:`repro.core.io`);
-- ``install(pipeline, obj)`` -- hydrate the pipeline's cache slot so
-  later property accesses short-circuit;
+- ``install(pipeline, obj)`` -- hydrate the substrate store's slot so
+  later property accesses short-circuit (and the serving layer sees the
+  revision bump);
 - ``deps`` -- upstream artifact names (fingerprints chain through them);
 - ``config_keys`` -- the pipeline parameters the artifact's content
   depends on (changing any other parameter leaves it fresh).
@@ -18,13 +19,23 @@ The registry :data:`ARTIFACTS` is declaration-ordered and already
 topologically sorted; :func:`topological_order` re-derives the order from
 the declared edges and is what the builder actually uses, so a future
 out-of-order declaration cannot corrupt builds.
+
+Score artifacts are **derived from the scoring registry**
+(:mod:`repro.scoring`): each registered function contributes one
+``scores_<function>_<paper_set>`` artifact per declared paper set, whose
+fingerprint dependencies are the paper-set artifact plus the spec's
+``substrates``.  :data:`ARTIFACTS` is a live mapping that re-derives
+itself whenever the scoring registry changes, so registering a plugin
+function gets it fingerprinted persistence with no edits here.
 """
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro import scoring
 from repro.core import io as core_io
 
 
@@ -50,7 +61,7 @@ def _score_artifact(function: str, paper_set_name: str, deps: Tuple[str, ...]) -
     key = f"{function}/{paper_set_name}"
 
     def install(pipeline, scores):
-        pipeline._scores[key] = scores
+        pipeline.substrates.install_scores(key, scores)
 
     return Artifact(
         name=f"scores_{function}_{paper_set_name}",
@@ -110,112 +121,159 @@ def _install_representatives(pipeline, representatives):
     pipeline._representatives = dict(representatives)
 
 
-#: Declaration-ordered artifact registry (already a valid build order).
-ARTIFACTS: Dict[str, Artifact] = {
-    artifact.name: artifact
-    for artifact in (
-        Artifact(
-            name="index",
-            filename="index.json",
-            schema_version=1,
-            build=_build_index,
-            save=core_io.write_inverted_index,
-            load=lambda path, pipeline: core_io.read_inverted_index(path),
-            install=_install_index,
-            installed=lambda pipeline: pipeline._index is not None,
-            description="section-aware inverted index over the corpus",
+#: The structural artifacts every pipeline shares (declaration order is
+#: a valid build order).  Score artifacts are appended dynamically from
+#: the scoring registry -- see :class:`_ArtifactRegistry`.
+_BASE_ARTIFACTS: Tuple[Artifact, ...] = (
+    Artifact(
+        name="index",
+        filename="index.json",
+        schema_version=1,
+        build=_build_index,
+        save=core_io.write_inverted_index,
+        load=lambda path, pipeline: core_io.read_inverted_index(path),
+        install=_install_index,
+        installed=lambda pipeline: pipeline._index is not None,
+        description="section-aware inverted index over the corpus",
+    ),
+    Artifact(
+        name="tokens",
+        filename="tokens.json",
+        schema_version=1,
+        build=_build_tokens,
+        save=core_io.write_token_cache,
+        load=lambda path, pipeline: core_io.read_token_cache(
+            path, pipeline.corpus, pipeline.index.analyzer
         ),
-        Artifact(
-            name="tokens",
-            filename="tokens.json",
-            schema_version=1,
-            build=_build_tokens,
-            save=core_io.write_token_cache,
-            load=lambda path, pipeline: core_io.read_token_cache(
-                path, pipeline.corpus, pipeline.index.analyzer
-            ),
-            install=_install_tokens,
-            installed=lambda pipeline: pipeline._tokens is not None,
-            deps=("index",),
-            description="analysed token sequences per (paper, section)",
+        install=_install_tokens,
+        installed=lambda pipeline: pipeline._tokens is not None,
+        deps=("index",),
+        description="analysed token sequences per (paper, section)",
+    ),
+    Artifact(
+        name="vectors",
+        filename="vectors.json",
+        schema_version=1,
+        build=_build_vectors,
+        save=core_io.write_vector_store,
+        load=lambda path, pipeline: core_io.read_vector_store(
+            path, pipeline.corpus, pipeline.index.analyzer
         ),
-        Artifact(
-            name="vectors",
-            filename="vectors.json",
-            schema_version=1,
-            build=_build_vectors,
-            save=core_io.write_vector_store,
-            load=lambda path, pipeline: core_io.read_vector_store(
-                path, pipeline.corpus, pipeline.index.analyzer
-            ),
-            install=_install_vectors,
-            installed=lambda pipeline: pipeline._vectors is not None,
-            deps=("index",),
-            description="fitted TF-IDF models + whole-paper vectors",
+        install=_install_vectors,
+        installed=lambda pipeline: pipeline._vectors is not None,
+        deps=("index",),
+        description="fitted TF-IDF models + whole-paper vectors",
+    ),
+    Artifact(
+        name="citation_graph",
+        filename="citation_graph.json",
+        schema_version=1,
+        build=lambda pipeline: pipeline.citation_graph,
+        save=core_io.write_citation_graph,
+        load=lambda path, pipeline: core_io.read_citation_graph(path),
+        install=_install_graph,
+        installed=lambda pipeline: pipeline._graph is not None,
+        description="corpus-wide directed citation graph",
+    ),
+    Artifact(
+        name="text_paper_set",
+        filename="text_paper_set.json",
+        schema_version=1,
+        build=lambda pipeline: pipeline.text_paper_set,
+        save=core_io.write_context_paper_set,
+        load=lambda path, pipeline: core_io.read_context_paper_set(
+            path, pipeline.ontology
         ),
-        Artifact(
-            name="citation_graph",
-            filename="citation_graph.json",
-            schema_version=1,
-            build=lambda pipeline: pipeline.citation_graph,
-            save=core_io.write_citation_graph,
-            load=lambda path, pipeline: core_io.read_citation_graph(path),
-            install=_install_graph,
-            installed=lambda pipeline: pipeline._graph is not None,
-            description="corpus-wide directed citation graph",
+        install=_install_text_paper_set,
+        installed=lambda pipeline: pipeline._text_paper_set is not None,
+        deps=("index", "vectors"),
+        config_keys=("text_similarity_threshold",),
+        description="text-based context paper set (section 4)",
+    ),
+    Artifact(
+        name="pattern_paper_set",
+        filename="pattern_paper_set.json",
+        schema_version=1,
+        build=lambda pipeline: pipeline.pattern_paper_set,
+        save=core_io.write_context_paper_set,
+        load=lambda path, pipeline: core_io.read_context_paper_set(
+            path, pipeline.ontology
         ),
-        Artifact(
-            name="text_paper_set",
-            filename="text_paper_set.json",
-            schema_version=1,
-            build=lambda pipeline: pipeline.text_paper_set,
-            save=core_io.write_context_paper_set,
-            load=lambda path, pipeline: core_io.read_context_paper_set(
-                path, pipeline.ontology
-            ),
-            install=_install_text_paper_set,
-            installed=lambda pipeline: pipeline._text_paper_set is not None,
-            deps=("index", "vectors"),
-            config_keys=("text_similarity_threshold",),
-            description="text-based context paper set (section 4)",
-        ),
-        Artifact(
-            name="pattern_paper_set",
-            filename="pattern_paper_set.json",
-            schema_version=1,
-            build=lambda pipeline: pipeline.pattern_paper_set,
-            save=core_io.write_context_paper_set,
-            load=lambda path, pipeline: core_io.read_context_paper_set(
-                path, pipeline.ontology
-            ),
-            install=_install_pattern_paper_set,
-            installed=lambda pipeline: pipeline._pattern_paper_set is not None,
-            deps=("index", "tokens"),
-            description="pattern-based context paper set (section 4)",
-        ),
-        Artifact(
-            name="representatives",
-            filename="representatives.json",
-            schema_version=1,
-            build=lambda pipeline: pipeline.representatives,
-            save=core_io.write_representatives,
-            load=lambda path, pipeline: core_io.read_representatives(path),
-            install=_install_representatives,
-            installed=lambda pipeline: pipeline._representatives is not None,
-            deps=("text_paper_set", "vectors"),
-            description="representative paper per text-set context",
-        ),
-        _score_artifact(
-            "text", "text",
-            deps=("text_paper_set", "vectors", "citation_graph", "representatives"),
-        ),
-        _score_artifact("citation", "text", deps=("text_paper_set", "citation_graph")),
-        _score_artifact("pattern", "pattern", deps=("pattern_paper_set", "tokens")),
-        _score_artifact(
-            "citation", "pattern", deps=("pattern_paper_set", "citation_graph")
-        ),
-    )
-}
+        install=_install_pattern_paper_set,
+        installed=lambda pipeline: pipeline._pattern_paper_set is not None,
+        deps=("index", "tokens"),
+        description="pattern-based context paper set (section 4)",
+    ),
+    Artifact(
+        name="representatives",
+        filename="representatives.json",
+        schema_version=1,
+        build=lambda pipeline: pipeline.representatives,
+        save=core_io.write_representatives,
+        load=lambda path, pipeline: core_io.read_representatives(path),
+        install=_install_representatives,
+        installed=lambda pipeline: pipeline._representatives is not None,
+        deps=("text_paper_set", "vectors"),
+        description="representative paper per text-set context",
+    ),
+)
+
+
+def _derive_artifacts() -> Dict[str, Artifact]:
+    """Base artifacts + one score artifact per registry evaluation arm.
+
+    A score artifact's fingerprint dependencies are the paper-set
+    artifact followed by the spec's declared ``substrates`` -- the same
+    (order-preserving) chains the pre-registry declarations used, so
+    existing workspace fingerprints stay valid.
+    """
+    registry: Dict[str, Artifact] = {
+        artifact.name: artifact for artifact in _BASE_ARTIFACTS
+    }
+    for spec in scoring.specs():
+        for paper_set_name in spec.paper_sets:
+            artifact = _score_artifact(
+                spec.name,
+                paper_set_name,
+                deps=(f"{paper_set_name}_paper_set",) + spec.substrates,
+            )
+            registry[artifact.name] = artifact
+    return registry
+
+
+class _ArtifactRegistry(Mapping):
+    """A live, read-only mapping view of the artifact graph.
+
+    Re-derives its contents whenever the scoring registry's revision
+    moves, so plugin registrations (including test-scoped
+    ``temporary_registration``) appear -- and disappear -- without any
+    caller holding a stale snapshot.
+    """
+
+    def __init__(self) -> None:
+        self._cached: Dict[str, Artifact] = {}
+        self._cached_revision: Optional[int] = None
+
+    def _snapshot(self) -> Dict[str, Artifact]:
+        revision = scoring.registry_revision()
+        if revision != self._cached_revision:
+            self._cached = _derive_artifacts()
+            self._cached_revision = revision
+        return self._cached
+
+    def __getitem__(self, name: str) -> Artifact:
+        return self._snapshot()[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._snapshot())
+
+    def __len__(self) -> int:
+        return len(self._snapshot())
+
+
+#: Declaration-ordered artifact registry (already a valid build order),
+#: kept in sync with the scoring registry automatically.
+ARTIFACTS: Mapping = _ArtifactRegistry()
 
 
 def artifact_names() -> List[str]:

@@ -142,7 +142,9 @@ class TestBuild:
         code = main(["precompute", "--data", str(data_dir)])
         assert code == 0
         output = capsys.readouterr().out
-        assert "built 11" in output
+        from repro.workspace import ARTIFACTS
+
+        assert f"built {len(ARTIFACTS)}" in output
         workspace = data_dir / "workspace"
         assert (workspace / "manifest.json").exists()
         assert (workspace / "text_paper_set.json").exists()

@@ -113,9 +113,30 @@ class TestResultCache:
         assert cache.get(("a",)) is not None
         assert cache.get(("b",)) is None
 
-    def test_capacity_must_be_positive(self):
+    def test_negative_capacity_rejected(self):
         with pytest.raises(ValueError):
-            SearchResultCache(capacity=0)
+            SearchResultCache(capacity=-1)
+
+    def test_zero_capacity_disables_cache(self):
+        cache = SearchResultCache(capacity=0)
+        assert not cache.enabled
+        cache.put(("a",), [])
+        assert len(cache) == 0
+        assert cache.get(("a",)) is None
+        # Disabled caches are silent: no hit/miss/evict counters move.
+        assert _counters().get("search.cache.miss", 0) == 0
+
+    def test_pipeline_with_cache_disabled_serves_fresh_results(self):
+        pipeline = build_demo_pipeline(
+            seed=7, n_papers=80, n_terms=25, result_cache_size=0
+        )
+        first = pipeline.search(QUERY, limit=5)
+        second = pipeline.search(QUERY, limit=5)
+        assert second == first
+        assert len(pipeline._result_cache) == 0
+        counters = _counters()
+        assert counters.get("search.cache.hit", 0) == 0
+        assert counters.get("search.cache.miss", 0) == 0
 
     @pytest.mark.parametrize(
         "function,paper_set",

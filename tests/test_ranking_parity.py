@@ -1,0 +1,117 @@
+"""Golden-file ranking parity for the scoring/serving refactor.
+
+``tests/data/golden_rankings.json`` was captured from the demo pipeline
+*before* the score-function registry and the build/serve layer split, so
+these tests pin the refactor's acceptance criterion: ``search``,
+``search_grouped``, and ``explain`` must reproduce the pre-refactor
+rankings bit for bit (floats survive the JSON round-trip exactly --
+``json`` serialises with ``repr`` precision).
+
+If a future change *intentionally* alters ranking semantics, regenerate
+with ``PYTHONPATH=src python tools/gen_golden_rankings.py`` -- never to
+paper over an unexplained diff.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.pipeline import build_demo_pipeline
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_rankings.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["format"] == "repro/golden-rankings/v1"
+    return payload
+
+
+@pytest.fixture(scope="module")
+def pipeline(golden):
+    demo = golden["demo"]
+    return build_demo_pipeline(
+        seed=demo["seed"], n_papers=demo["n_papers"], n_terms=demo["n_terms"]
+    )
+
+
+def _hit_rows(hits):
+    return [
+        [h.paper_id, h.context_id, h.relevancy, h.prestige, h.matching]
+        for h in hits
+    ]
+
+
+def _combo_cases(golden):
+    return sorted(golden["combos"])
+
+
+class TestRankingParity:
+    def test_golden_covers_every_seed_function(self, golden):
+        functions = {combo.split("/")[0] for combo in golden["combos"]}
+        assert {"citation", "hits", "text", "pattern"} <= functions
+
+    def test_golden_has_nonempty_rankings(self, golden):
+        nonempty = sum(
+            1
+            for per_query in golden["combos"].values()
+            for record in per_query.values()
+            if record["search"]
+        )
+        assert nonempty > 0
+
+    def test_search_grouped_explain_match_golden(self, golden, pipeline):
+        mismatches = []
+        for combo in _combo_cases(golden):
+            function, paper_set, strategy = combo.split("/")
+            engine = pipeline.search_engine(function, paper_set, strategy)
+            for query, expected in golden["combos"][combo].items():
+                hits = engine.search(query, limit=10)
+                if _hit_rows(hits) != expected["search"]:
+                    mismatches.append((combo, query, "search"))
+                    continue
+                grouped = [
+                    [
+                        group.context_id,
+                        group.selection_strength,
+                        _hit_rows(group.hits),
+                    ]
+                    for group in engine.search_grouped(query, per_context_limit=5)
+                ]
+                if grouped != expected["grouped"]:
+                    mismatches.append((combo, query, "grouped"))
+                    continue
+                explain_rows = []
+                if hits:
+                    explanation = engine.explain(query, hits[0].paper_id)
+                    explain_rows = [
+                        explanation.matching,
+                        list(explanation.selected_context_ids),
+                        [list(row) for row in explanation.in_selected_contexts],
+                        explanation.best_relevancy,
+                    ]
+                if explain_rows != expected["explain"]:
+                    mismatches.append((combo, query, "explain"))
+        assert mismatches == []
+
+    def test_pipeline_search_matches_engine_path(self, golden, pipeline):
+        """The cached pipeline.search fast path returns the same rankings."""
+        combo = next(
+            c for c in _combo_cases(golden)
+            if any(r["search"] for r in golden["combos"][c].values())
+        )
+        function, paper_set, strategy = combo.split("/")
+        for query, expected in golden["combos"][combo].items():
+            for use_cache in (True, True, False):  # miss, hit, bypass
+                hits = pipeline.search(
+                    query,
+                    function=function,
+                    paper_set_name=paper_set,
+                    selection_strategy=strategy,
+                    limit=10,
+                    use_cache=use_cache,
+                )
+                assert _hit_rows(hits) == expected["search"], (query, use_cache)

@@ -116,7 +116,7 @@ class TestBuild:
         _, _, report = built
         table = report.format_table()
         assert "index" in table
-        assert "of 11 artifacts" in table
+        assert f"of {len(ARTIFACTS)} artifacts" in table
 
 
 class TestOpenWorkspace:
@@ -186,6 +186,7 @@ class TestIncremental:
             "representatives",
             "scores_text_text",
             "scores_citation_text",
+            "scores_combined_text",
         }
 
     def test_incremental_rebuild_after_config_change(self, built, data_dir, tmp_path):
@@ -197,6 +198,7 @@ class TestIncremental:
         assert sorted(report.built) == [
             "representatives",
             "scores_citation_text",
+            "scores_combined_text",
             "scores_text_text",
             "text_paper_set",
         ]
@@ -284,6 +286,7 @@ class TestFingerprints:
             "representatives",
             "scores_text_text",
             "scores_citation_text",
+            "scores_combined_text",
         }
 
 

@@ -13,6 +13,10 @@ echo "== lint: metric name convention =="
 python tools/check_metric_names.py
 
 echo
+echo "== lint: score-function registry =="
+python tools/check_score_registry.py
+
+echo
 echo "== lint: workspace artifact registry =="
 python tools/check_workspace_manifest.py
 

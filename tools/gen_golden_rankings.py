@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Regenerate the ranking-parity golden file.
+
+Runs the demo pipeline over every registered score function x paper set
+x selection strategy and records the full ``search`` / ``search_grouped``
+/ ``explain`` output to ``tests/data/golden_rankings.json``.  The file is
+the parity contract of ``tests/test_ranking_parity.py``: refactors of the
+dispatch/serving layers must reproduce these rankings bit for bit.
+
+Only regenerate when the *ranking semantics* intentionally change --
+never to paper over an unexplained diff:
+
+    PYTHONPATH=src python tools/gen_golden_rankings.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+GOLDEN_PATH = REPO_ROOT / "tests" / "data" / "golden_rankings.json"
+
+#: Demo-pipeline shape: small enough to score every arm quickly, big
+#: enough that rankings have real structure.
+SEED, N_PAPERS, N_TERMS = 7, 120, 30
+QUERIES = (
+    "gene expression regulation",
+    "protein binding activity",
+    "cell membrane transport",
+)
+STRATEGIES = ("probe", "name", "representative")
+
+
+def hit_row(hit):
+    return [hit.paper_id, hit.context_id, hit.relevancy, hit.prestige, hit.matching]
+
+
+def main() -> int:
+    from repro import scoring
+    from repro.pipeline import build_demo_pipeline
+
+    pipeline = build_demo_pipeline(seed=SEED, n_papers=N_PAPERS, n_terms=N_TERMS)
+    combos = {}
+    # Every registered function on every paper set: searchability is
+    # universal even when a function's evaluation arms are narrower.
+    for function in sorted(scoring.function_names()):
+        for paper_set in scoring.PAPER_SET_NAMES:
+            for strategy in STRATEGIES:
+                engine = pipeline.search_engine(function, paper_set, strategy)
+                per_query = {}
+                for query in QUERIES:
+                    hits = engine.search(query, limit=10)
+                    groups = engine.search_grouped(query, per_context_limit=5)
+                    explain_rows = []
+                    if hits:
+                        explanation = engine.explain(query, hits[0].paper_id)
+                        explain_rows = [
+                            explanation.matching,
+                            list(explanation.selected_context_ids),
+                            [list(row) for row in explanation.in_selected_contexts],
+                            explanation.best_relevancy,
+                        ]
+                    per_query[query] = {
+                        "search": [hit_row(h) for h in hits],
+                        "grouped": [
+                            [
+                                group.context_id,
+                                group.selection_strength,
+                                [hit_row(h) for h in group.hits],
+                            ]
+                            for group in groups
+                        ],
+                        "explain": explain_rows,
+                    }
+                combos[f"{function}/{paper_set}/{strategy}"] = per_query
+    payload = {
+        "format": "repro/golden-rankings/v1",
+        "demo": {"seed": SEED, "n_papers": N_PAPERS, "n_terms": N_TERMS},
+        "queries": list(QUERIES),
+        "combos": combos,
+    }
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(combos)} combos x {len(QUERIES)} queries -> {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
