@@ -1,0 +1,177 @@
+"""Observability overhead benchmark: what instrumentation costs a query.
+
+Three timed variants of the same cache-bypassing ``Pipeline.search``
+loop over the shared bench workload:
+
+- **stripped** -- the request-telemetry context and the pipeline span
+  are monkeypatched out, approximating the serving code with this PR's
+  instrumentation removed (inner ``span(...)`` calls stay, but with no
+  active tracer they are a single attribute check each);
+- **disabled** -- the real code path with telemetry off (the production
+  default): one sentinel check, two clock reads, one histogram
+  observation, one counter increment per request;
+- **sampled** -- telemetry enabled at a 10% head-sampling rate with an
+  active tracer, so every span in the request records real timings.
+
+The variants run *interleaved*, round-robin, ``REPEATS`` times each,
+and the minimum loop time per variant is kept: min-of-repeats absorbs
+scheduler noise, and interleaving cancels the slow monotonic drift
+(cache warmth, frequency scaling) that back-to-back blocks would pin on
+whichever variant ran first.  The floors (disabled within 2% of
+stripped, sampled within 10%) travel inside ``BENCH_obs_overhead.json``
+and are enforced both here and by ``tools/check_bench_regression.py``
+in CI.
+"""
+
+import json
+import time
+from contextlib import contextmanager
+
+from conftest import write_result
+
+from repro.obs import configure_telemetry, reset_telemetry
+from repro.obs.request import QueryTelemetry
+
+#: The disabled fast path must stay within this percentage of stripped.
+DISABLED_FLOOR_PCT = 2.0
+#: The enabled, sampled-tracing path must stay within this percentage.
+SAMPLED_FLOOR_PCT = 10.0
+REPEATS = 5
+LIMIT = 10
+
+
+class _NullHandle:
+    def set(self, **attrs):
+        pass
+
+    def cache(self, hit):
+        pass
+
+    def cache_batch(self, hits, lookups):
+        pass
+
+
+_NULL_HANDLE = _NullHandle()
+
+
+@contextmanager
+def _null_request(kind, query="", queries=1, **attrs):
+    yield _NULL_HANDLE
+
+
+class _NullTelemetry:
+    request = staticmethod(_null_request)
+
+
+@contextmanager
+def _null_span_cm():
+    yield _NULL_HANDLE
+
+
+def _null_span(name, **attrs):
+    return _null_span_cm()
+
+
+def _timed_loop(pipeline, queries):
+    """Wall time of one cache-bypassing search loop."""
+    started = time.perf_counter()
+    for query in queries:
+        pipeline.search(query, limit=LIMIT, use_cache=False)
+    return time.perf_counter() - started
+
+
+def test_perf_obs_overhead(pipeline, queries, results_dir, monkeypatch):
+    import repro.pipeline as pipeline_module
+
+    def time_stripped():
+        with monkeypatch.context() as patched:
+            patched.setattr(
+                pipeline_module, "get_telemetry", lambda: _NullTelemetry()
+            )
+            patched.setattr(pipeline_module, "span", _null_span)
+            return _timed_loop(pipeline, queries)
+
+    def time_disabled():
+        reset_telemetry()
+        return _timed_loop(pipeline, queries)
+
+    def time_sampled():
+        configure_telemetry(
+            enabled=True, sample_rate=0.1, slow_ms=1e12, seed=7
+        )
+        try:
+            return _timed_loop(pipeline, queries)
+        finally:
+            reset_telemetry()
+
+    variants = {
+        "stripped": time_stripped,
+        "disabled": time_disabled,
+        "sampled": time_sampled,
+    }
+    # One untimed lap per variant warms every lazy substrate and code
+    # path, then interleaved timed rounds with the per-variant min kept.
+    best = {}
+    for name, run in variants.items():
+        run()
+        best[name] = float("inf")
+    for _ in range(REPEATS):
+        for name, run in variants.items():
+            best[name] = min(best[name], run())
+
+    stripped_seconds = best["stripped"]
+    disabled_seconds = best["disabled"]
+    sampled_seconds = best["sampled"]
+
+    def overhead_pct(seconds):
+        return (seconds - stripped_seconds) / stripped_seconds * 100.0
+
+    disabled_pct = overhead_pct(disabled_seconds)
+    sampled_pct = overhead_pct(sampled_seconds)
+
+    per_query_us = stripped_seconds / len(queries) * 1e6
+    table = "\n".join([
+        f"queries x repeats         {len(queries)} x {REPEATS}"
+        " (interleaved, min kept)",
+        f"stripped baseline         {stripped_seconds * 1000.0:10.2f} ms"
+        f"  ({per_query_us:.0f} us/query)",
+        f"telemetry disabled        {disabled_seconds * 1000.0:10.2f} ms"
+        f"  ({disabled_pct:+.2f}%  floor {DISABLED_FLOOR_PCT:.0f}%)",
+        f"sampled tracing (10%)     {sampled_seconds * 1000.0:10.2f} ms"
+        f"  ({sampled_pct:+.2f}%  floor {SAMPLED_FLOOR_PCT:.0f}%)",
+    ])
+    write_result(results_dir, "perf_obs_overhead", table)
+
+    payload = {
+        "queries": len(queries),
+        "repeats": REPEATS,
+        "stripped_seconds": round(stripped_seconds, 6),
+        "disabled_seconds": round(disabled_seconds, 6),
+        "sampled_seconds": round(sampled_seconds, 6),
+        "disabled_overhead_pct": round(disabled_pct, 3),
+        "sampled_overhead_pct": round(sampled_pct, 3),
+        "disabled_floor_pct": DISABLED_FLOOR_PCT,
+        "sampled_floor_pct": SAMPLED_FLOOR_PCT,
+    }
+    (results_dir / "BENCH_obs_overhead.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    assert disabled_pct <= DISABLED_FLOOR_PCT, (
+        f"telemetry-disabled path is {disabled_pct:.2f}% over the stripped "
+        f"baseline (floor {DISABLED_FLOOR_PCT}%)"
+    )
+    assert sampled_pct <= SAMPLED_FLOOR_PCT, (
+        f"sampled-tracing path is {sampled_pct:.2f}% over the stripped "
+        f"baseline (floor {SAMPLED_FLOOR_PCT}%)"
+    )
+
+
+def test_obs_overhead_telemetry_defaults():
+    """The process-default telemetry must be the disabled fast path."""
+    telemetry = QueryTelemetry()
+    assert telemetry.enabled is False
+    with telemetry.request("search", query="q") as handle:
+        handle.cache(hit=False)  # no-op on the null handle
+    assert len(telemetry.slowlog) == 0
+    assert telemetry.events() == []

@@ -13,12 +13,20 @@ Subcommands mirror a deployment's life cycle:
   (hydrates from ``<data>/workspace`` when one is built);
 - ``repro evaluate``  -- run the accuracy/separability evaluation and
   print a summary;
-- ``repro obs report`` -- render saved trace/metrics dumps as ASCII.
+- ``repro obs report`` -- render saved trace/metrics dumps as ASCII;
+- ``repro obs slowlog`` -- render the slow-query log of a telemetry dump
+  (span trees, cache attribution);
+- ``repro obs slo``   -- render the SLO/error-budget report of a dump;
+- ``repro obs serve`` -- run the HTTP exposition endpoint (``/metrics``
+  in Prometheus text format, ``/health``, ``/slo``, ``/slowlog``).
 
 Every subcommand additionally accepts the observability flags
 ``--trace-out PATH`` (write the run's span tree as JSON lines),
 ``--metrics-out PATH`` (write the metrics-registry snapshot as JSON),
-and ``--log-json`` (structured JSON-lines logging; equivalent to
+``--telemetry-out PATH`` (enable request-scoped query telemetry and
+write its slow-query log + SLO report as JSON; tune with
+``--sample-rate``/``--slow-ms``/``--slo``), and ``--log-json``
+(structured JSON-lines logging; equivalent to
 ``REPRO_LOG_FORMAT=json``).  See ``docs/observability.md``.
 
 Example::
@@ -46,7 +54,17 @@ from repro.core.search import SELECTION_STRATEGIES
 from repro.corpus import write_corpus_jsonl
 from repro.datagen import CorpusGenerator, OntologyGenerator
 from repro.eval.experiments import PrecisionExperiment, SeparabilityExperiment
-from repro.obs import configure_logging, get_registry, start_tracing, stop_tracing
+from repro.obs import (
+    configure_logging,
+    configure_telemetry,
+    format_slo_report,
+    get_registry,
+    parse_slo,
+    render_slowlog,
+    reset_telemetry,
+    start_tracing,
+    stop_tracing,
+)
 from repro.obs.report import render_report
 from repro.ontology import write_obo
 from repro.pipeline import Pipeline
@@ -355,6 +373,101 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_telemetry_dump(path: str) -> dict:
+    """Read a ``--telemetry-out`` JSON dump, with friendly errors."""
+    dump_path = Path(path)
+    if not dump_path.exists():
+        raise SystemExit(f"error: {path} not found")
+    try:
+        with open(dump_path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"error: {path}: corrupt JSON ({error})") from error
+    if not isinstance(data, dict):
+        raise SystemExit(f"error: {path} is not a telemetry dump")
+    return data
+
+
+def _cmd_obs_slowlog(args: argparse.Namespace) -> int:
+    """Render the slow-query log of a telemetry dump (slowest first)."""
+    data = _load_telemetry_dump(args.file)
+    print(render_slowlog(data.get("slowlog", []), limit=args.limit))
+    return 0
+
+
+def _cmd_obs_slo(args: argparse.Namespace) -> int:
+    """Render the SLO / error-budget report of a telemetry dump."""
+    data = _load_telemetry_dump(args.file)
+    print(format_slo_report(data.get("slo", [])))
+    return 0
+
+
+def _parse_slo_args(specs) -> list:
+    slos = []
+    for spec in specs or ():
+        try:
+            slos.append(parse_slo(spec))
+        except ValueError as error:
+            raise SystemExit(f"error: {error}") from error
+    return slos
+
+
+def _cmd_obs_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP exposition endpoint over a loaded pipeline."""
+    import time
+
+    from repro.obs.server import ExpositionServer
+
+    configure_telemetry(
+        enabled=True,
+        sample_rate=args.sample_rate,
+        slow_ms=args.slow_ms,
+        slos=_parse_slo_args(args.slo) or None,
+    )
+    pipeline = _load_pipeline(args.data, use_workspace=not args.no_workspace)
+    if args.warmup:
+        queries = _derive_queries(pipeline, args.warmup)
+        if queries:
+            # Exercise both request kinds so /metrics exposes the
+            # search.run.latency and search.batch.latency histograms from
+            # the first scrape; the second pass hits the result cache.
+            for query in queries:
+                pipeline.search(query)
+            pipeline.search_many(queries, max_workers=args.workers)
+            print(f"warmed up with {len(queries)} queries")
+
+    def health_info() -> dict:
+        view = pipeline.serving_view
+        return {
+            "view_revision": view.revision,
+            "view_age_s": round(view.age_seconds, 3),
+            "papers": len(pipeline.corpus),
+        }
+
+    server = ExpositionServer(
+        host=args.host,
+        port=args.port,
+        collectors=[lambda: pipeline.serving_view.export_gauges()],
+        health_info=health_info,
+    ).start()
+    print(
+        f"serving /metrics /health /slo /slowlog on "
+        f"http://{server.host}:{server.port} (ctrl-c to stop)"
+    )
+    try:
+        if args.for_seconds is not None:
+            time.sleep(args.for_seconds)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        reset_telemetry()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -380,6 +493,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-json",
         action="store_true",
         help="emit structured JSON-lines logs instead of plain text",
+    )
+    obs_group.add_argument(
+        "--telemetry-out",
+        default=None,
+        metavar="PATH",
+        help="enable request-scoped query telemetry and write its "
+        "slow-query log + SLO report as JSON to PATH",
+    )
+    obs_group.add_argument(
+        "--sample-rate",
+        type=float,
+        default=0.05,
+        metavar="FRACTION",
+        help="head-sampling rate for query telemetry in [0, 1] "
+        "(default: %(default)s; slow or failed queries are always captured)",
+    )
+    obs_group.add_argument(
+        "--slow-ms",
+        type=float,
+        default=100.0,
+        metavar="MS",
+        help="queries at or above this duration count as slow "
+        "(default: %(default)s)",
+    )
+    obs_group.add_argument(
+        "--slo",
+        action="append",
+        metavar="SPEC",
+        help="declare an SLO, e.g. 'search-p95:latency:250ms:95%%:300s' "
+        "(repeatable; default objectives otherwise)",
     )
     # Shared by the commands that *read* a data directory: skip the
     # workspace and rebuild everything in memory (debugging aid).
@@ -525,7 +668,8 @@ def build_parser() -> argparse.ArgumentParser:
     validate.set_defaults(func=_cmd_validate)
 
     obs = subparsers.add_parser(
-        "obs", help="observability utilities (render saved dumps)"
+        "obs",
+        help="observability utilities (render dumps, serve /metrics)",
     )
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
     obs_report = obs_sub.add_parser(
@@ -539,6 +683,72 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_report.set_defaults(func=_cmd_obs_report)
 
+    obs_slowlog = obs_sub.add_parser(
+        "slowlog",
+        help="render the slow-query log of a telemetry dump",
+    )
+    obs_slowlog.add_argument(
+        "--file",
+        default="telemetry.json",
+        metavar="PATH",
+        help="telemetry dump written by --telemetry-out "
+        "(default: %(default)s)",
+    )
+    obs_slowlog.add_argument(
+        "--limit", type=int, default=0,
+        help="show only the N slowest entries (0 = all)",
+    )
+    obs_slowlog.set_defaults(func=_cmd_obs_slowlog)
+
+    obs_slo = obs_sub.add_parser(
+        "slo", help="render the SLO / error-budget report of a telemetry dump"
+    )
+    obs_slo.add_argument(
+        "--file",
+        default="telemetry.json",
+        metavar="PATH",
+        help="telemetry dump written by --telemetry-out "
+        "(default: %(default)s)",
+    )
+    obs_slo.set_defaults(func=_cmd_obs_slo)
+
+    obs_serve = obs_sub.add_parser(
+        "serve",
+        help="HTTP exposition endpoint: /metrics /health /slo /slowlog",
+        parents=[data_common],
+    )
+    obs_serve.add_argument("--data", default="data")
+    obs_serve.add_argument("--host", default="127.0.0.1")
+    obs_serve.add_argument(
+        "--port", type=int, default=9188, help="0 binds an ephemeral port"
+    )
+    obs_serve.add_argument(
+        "--sample-rate", type=float, default=0.05, metavar="FRACTION",
+        help="head-sampling rate for query telemetry (default: %(default)s)",
+    )
+    obs_serve.add_argument(
+        "--slow-ms", type=float, default=100.0, metavar="MS",
+        help="slow-query threshold (default: %(default)s)",
+    )
+    obs_serve.add_argument(
+        "--slo", action="append", metavar="SPEC",
+        help="declare an SLO, e.g. 'search-p95:latency:250ms:95%%:300s' "
+        "(repeatable; default objectives otherwise)",
+    )
+    obs_serve.add_argument(
+        "--warmup", type=int, default=0, metavar="N",
+        help="run N derived queries through the pipeline before serving",
+    )
+    obs_serve.add_argument(
+        "--workers", type=int, default=4,
+        help="thread-pool size for the warmup batch",
+    )
+    obs_serve.add_argument(
+        "--for-seconds", type=float, default=None, metavar="S",
+        help="serve for S seconds then exit (default: run until ctrl-c)",
+    )
+    obs_serve.set_defaults(func=_cmd_obs_serve)
+
     return parser
 
 
@@ -546,17 +756,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     configure_logging(json_format=True if getattr(args, "log_json", False) else None)
     trace_out = getattr(args, "trace_out", None)
+    telemetry_out = getattr(args, "telemetry_out", None)
     # Fail on an unwritable dump path before doing the actual work.
-    for path in (trace_out, getattr(args, "metrics_out", None)):
+    for path in (trace_out, getattr(args, "metrics_out", None), telemetry_out):
         if path and not Path(path).resolve().parent.is_dir():
             print(
                 f"error: directory of {path} does not exist", file=sys.stderr
             )
             return 2
     tracer = start_tracing() if trace_out else None
+    # Configure telemetry *after* start_tracing so request capture reuses
+    # the --trace-out tracer (spans land in both dumps) instead of
+    # installing an owned one.
+    telemetry = None
+    if telemetry_out:
+        telemetry = configure_telemetry(
+            enabled=True,
+            sample_rate=getattr(args, "sample_rate", 0.05),
+            slow_ms=getattr(args, "slow_ms", 100.0),
+            slos=_parse_slo_args(getattr(args, "slo", None)) or None,
+        )
     try:
         return args.func(args)
     finally:
+        if telemetry is not None:
+            telemetry.dump(telemetry_out)
+            reset_telemetry()
         if tracer is not None:
             stop_tracing()
             tracer.write_jsonl(trace_out)

@@ -35,7 +35,7 @@ from repro.core.context import ContextPaperSet
 from repro.core.scores.base import PrestigeScores
 from repro.core.vectors import PaperVectorStore
 from repro.index.search import KeywordSearchEngine, QueryEvaluation
-from repro.obs import get_registry, span
+from repro.obs import attach_span, current_span, get_registry, span
 from repro.ontology.ontology import Ontology
 
 #: Available context-selection strategies (task 3 of the paradigm):
@@ -412,8 +412,11 @@ class ContextSearchEngine:
         Queries fan out over a thread pool after :meth:`warm` has built
         every lazy cache, so workers only read shared state.  Each query
         runs the same single-scan path as :meth:`search` and increments
-        every metric exactly once.  ``kwargs`` are passed through to
-        :meth:`search`.
+        every metric exactly once.  The batch span is handed to every
+        worker via :func:`repro.obs.attach_span`, so per-query
+        ``search.run`` spans stay children of ``search.batch.run``
+        instead of becoming orphan roots of the tracer's per-thread
+        stacks.  ``kwargs`` are passed through to :meth:`search`.
         """
         queries = list(queries)
         if not queries:
@@ -428,10 +431,14 @@ class ContextSearchEngine:
         ), registry.timer("search.batch.seconds"):
             if max_workers == 1 or len(queries) == 1:
                 return [self.search(query, **kwargs) for query in queries]
+            parent = current_span()
+
+            def run_one(query: str) -> List[SearchHit]:
+                with attach_span(parent):
+                    return self.search(query, **kwargs)
+
             with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                return list(
-                    pool.map(lambda query: self.search(query, **kwargs), queries)
-                )
+                return list(pool.map(run_one, queries))
 
     def search_grouped(
         self,

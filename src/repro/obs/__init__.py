@@ -8,7 +8,16 @@ The cross-cutting layer every stage of the pipeline records into:
   and ASCII-tree export, no-op while tracing is inactive;
 - :mod:`repro.obs.logs` -- structured loggers emitting plain text or JSON
   lines (``REPRO_LOG_FORMAT=json`` / ``repro ... --log-json``);
-- :mod:`repro.obs.report` -- renders saved dumps (``repro obs report``).
+- :mod:`repro.obs.report` -- renders saved dumps (``repro obs report``);
+- :mod:`repro.obs.request` -- request-scoped query telemetry: query ids,
+  head + tail sampling, the rolling SLO event window;
+- :mod:`repro.obs.slowlog` -- bounded ring of the N slowest queries with
+  full span trees (``repro obs slowlog``);
+- :mod:`repro.obs.slo` -- SLO declarations, rolling-window evaluation,
+  error budgets (``repro obs slo``);
+- :mod:`repro.obs.prom` -- Prometheus text exposition rendering;
+- :mod:`repro.obs.server` -- stdlib HTTP endpoint publishing
+  ``/metrics``, ``/health``, ``/slo`` (``repro obs serve``).
 
 Stdlib only, no hard dependencies; disabled-by-default tracing keeps the
 instrumented hot paths at their uninstrumented speed.  Metric and span
@@ -27,11 +36,32 @@ from repro.obs.metrics import (
     reset_registry,
     validate_metric_name,
 )
+from repro.obs.prom import prom_name, render_prometheus
 from repro.obs.report import render_metrics, render_report, render_trace
+from repro.obs.request import (
+    QueryRecord,
+    QueryTelemetry,
+    configure_telemetry,
+    get_telemetry,
+    reset_telemetry,
+)
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    QueryEvent,
+    SLO,
+    SLOStatus,
+    evaluate_slo,
+    evaluate_slos,
+    format_slo_report,
+    parse_slo,
+)
+from repro.obs.slowlog import SlowQueryLog, render_slowlog
 from repro.obs.trace import (
     NULL_SPAN,
     Span,
     Tracer,
+    attach_span,
+    current_span,
     current_tracer,
     read_trace_jsonl,
     span,
@@ -41,23 +71,42 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "DEFAULT_SLOS",
     "Gauge",
     "Histogram",
     "METRIC_NAME_RE",
     "MetricsRegistry",
     "NULL_SPAN",
     "ObsLogger",
+    "QueryEvent",
+    "QueryRecord",
+    "QueryTelemetry",
+    "SLO",
+    "SLOStatus",
+    "SlowQueryLog",
     "Span",
     "Tracer",
+    "attach_span",
     "configure_logging",
+    "configure_telemetry",
+    "current_span",
     "current_tracer",
+    "evaluate_slo",
+    "evaluate_slos",
+    "format_slo_report",
     "get_logger",
     "get_registry",
+    "get_telemetry",
+    "parse_slo",
+    "prom_name",
     "read_trace_jsonl",
     "render_metrics",
+    "render_prometheus",
     "render_report",
+    "render_slowlog",
     "render_trace",
     "reset_registry",
+    "reset_telemetry",
     "span",
     "start_tracing",
     "stop_tracing",

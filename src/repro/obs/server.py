@@ -1,0 +1,190 @@
+"""Stdlib HTTP exposition endpoint: ``/metrics``, ``/health``, ``/slo``.
+
+The observability substrate the ROADMAP's search service will mount --
+``repro obs serve --port 9188`` runs it standalone today.  Routes:
+
+- ``GET /metrics``  -- Prometheus text exposition of the process-wide
+  registry (:mod:`repro.obs.prom`);
+- ``GET /health``   -- JSON liveness: status, uptime, serving-view
+  revision/age when a pipeline is attached;
+- ``GET /slo``      -- JSON list of declared objectives evaluated over
+  the rolling window (:mod:`repro.obs.slo`), with error budgets;
+- ``GET /slowlog``  -- JSON dump of the slow-query log (slowest first).
+
+Built on :class:`http.server.ThreadingHTTPServer` so a slow scraper
+cannot block a health probe.  *Collectors* -- zero-arg callables such as
+``ServingView.export_gauges`` -- run at the top of every scrape, which is
+how point-in-time gauges (view age, cache hit rate) stay current without
+a background refresher thread.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from repro.obs.logs import get_logger
+from repro.obs.metrics import get_registry
+from repro.obs.prom import render_prometheus
+from repro.obs.request import get_telemetry
+
+__all__ = ["ExpositionServer"]
+
+_log = get_logger("obs.server")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-obs/1"
+    #: Set by ExpositionServer on the server instance; read via self.server.
+    exposition: "ExpositionServer"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        exposition = self.server.exposition  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path == "/metrics":
+                body = exposition.render_metrics()
+                content_type = "text/plain; version=0.0.4; charset=utf-8"
+            elif path == "/health":
+                body = exposition.render_health()
+                content_type = "application/json"
+            elif path == "/slo":
+                body = exposition.render_slo()
+                content_type = "application/json"
+            elif path == "/slowlog":
+                body = exposition.render_slowlog()
+                content_type = "application/json"
+            else:
+                self._respond(
+                    404, "application/json",
+                    json.dumps({"error": f"no route {path!r}"}) + "\n",
+                )
+                return
+        except Exception as error:  # surface handler bugs to the scraper
+            self._respond(
+                500, "application/json",
+                json.dumps({"error": f"{type(error).__name__}: {error}"})
+                + "\n",
+            )
+            return
+        self._respond(200, content_type, body)
+
+    def _respond(self, status: int, content_type: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        _log.debug("http.request", detail=format % args)
+
+
+class ExpositionServer:
+    """Owns the HTTP server plus the scrape-time gauge collectors.
+
+    ``port=0`` binds an ephemeral port (tests); read :attr:`port` after
+    :meth:`start` for the bound value.  ``collectors`` run (exceptions
+    swallowed per collector) before every ``/metrics`` scrape and
+    ``/health`` probe so exported gauges reflect scrape time.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 9188,
+        collectors: Sequence[Callable[[], Any]] = (),
+        health_info: Optional[Callable[[], Dict[str, Any]]] = None,
+    ) -> None:
+        self.collectors = list(collectors)
+        self.health_info = health_info
+        self.started_at = time.monotonic()
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.exposition = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    # -- rendering (also used directly by tests) -------------------------------------
+
+    def _collect(self) -> None:
+        for collector in self.collectors:
+            try:
+                collector()
+            except Exception as error:
+                _log.warning(
+                    "collector.failed", collector=repr(collector), error=str(error)
+                )
+
+    def render_metrics(self) -> str:
+        self._collect()
+        return render_prometheus(get_registry().snapshot())
+
+    def render_health(self) -> str:
+        self._collect()
+        info: Dict[str, Any] = {
+            "status": "ok",
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+        }
+        if self.health_info is not None:
+            try:
+                info.update(self.health_info())
+            except Exception as error:
+                info["status"] = "degraded"
+                info["error"] = f"{type(error).__name__}: {error}"
+        return json.dumps(info, sort_keys=True) + "\n"
+
+    def render_slo(self) -> str:
+        statuses = [
+            status.to_dict() for status in get_telemetry().slo_statuses()
+        ]
+        return json.dumps({"slo": statuses}, sort_keys=True) + "\n"
+
+    def render_slowlog(self) -> str:
+        return (
+            json.dumps(
+                {"slowlog": get_telemetry().slowlog.to_dicts()},
+                sort_keys=True,
+            )
+            + "\n"
+        )
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def start(self) -> "ExpositionServer":
+        """Serve in a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            raise RuntimeError("exposition server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-obs-http",
+            daemon=True,
+        )
+        self._thread.start()
+        _log.info("serving", host=self.host, port=self.port)
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ExpositionServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False

@@ -1,0 +1,116 @@
+"""Slow-query log: a bounded ring of the N slowest captured queries.
+
+Request-scoped telemetry (:mod:`repro.obs.request`) offers every
+captured :class:`~repro.obs.request.QueryRecord` to this log; the log
+keeps only the ``capacity`` slowest, so a long-serving process carries a
+fixed-size sample of exactly the queries an operator wants to see.  Each
+entry holds the request's full span tree (selection, scoring, cache
+lookups, per-worker ``search.run`` children of a batch), its cache
+hit/miss attribution, and the score-function timing spans -- everything
+needed to answer "which queries are slow and why" without re-running
+them.
+
+Dump with ``repro search ... --telemetry-out telemetry.json`` and render
+with ``repro obs slowlog --file telemetry.json`` (see
+``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Any, Dict, List
+
+from repro.obs.report import render_trace
+
+__all__ = ["SlowQueryLog", "render_slowlog"]
+
+
+class SlowQueryLog:
+    """Thread-safe bounded collection of the slowest query records.
+
+    ``offer`` is O(log capacity): a min-heap keyed on duration keeps the
+    current N slowest, so the cheapest captured query is evicted first.
+    Ties break on arrival order (earlier record wins eviction).
+    """
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError(f"slowlog capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._heap: List = []  # (duration_s, seq, record)
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    def offer(self, record) -> bool:
+        """Consider one finished record; True when it was kept."""
+        entry = (record.duration_s, next(self._seq), record)
+        with self._lock:
+            if len(self._heap) < self.capacity:
+                heapq.heappush(self._heap, entry)
+                return True
+            if entry[0] > self._heap[0][0]:
+                heapq.heapreplace(self._heap, entry)
+                return True
+            return False
+
+    def records(self) -> List:
+        """Captured records, slowest first."""
+        with self._lock:
+            entries = sorted(self._heap, key=lambda e: (-e[0], e[1]))
+        return [record for _, _, record in entries]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """JSON-able view (slowest first) -- the ``--telemetry-out`` shape."""
+        return [record.to_dict() for record in self.records()]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._heap.clear()
+
+
+def render_slowlog(entries: List[Dict[str, Any]], limit: int = 0) -> str:
+    """ASCII rendering of dumped slowlog entries (slowest first).
+
+    Each entry prints a one-line header (rank, query id, kind, duration,
+    why it was captured, cache attribution) followed by its span tree,
+    indented -- the same tree ``repro obs report`` renders for a trace
+    dump.
+    """
+    if not entries:
+        return "(slow-query log is empty)"
+    if limit > 0:
+        entries = entries[:limit]
+    lines: List[str] = []
+    for rank, entry in enumerate(entries, start=1):
+        flags = []
+        if entry.get("slow"):
+            flags.append("slow")
+        if entry.get("sampled"):
+            flags.append("sampled")
+        cache_lookups = entry.get("cache_lookups", 0)
+        cache = (
+            f"cache={entry.get('cache_hits', 0)}/{cache_lookups}"
+            if cache_lookups
+            else "cache=-"
+        )
+        error = entry.get("error")
+        lines.append(
+            f"#{rank}  {entry.get('query_id', '?')}  "
+            f"{entry.get('kind', '?')}  "
+            f"{entry.get('duration_ms', 0.0):.3f}ms  "
+            f"[{','.join(flags) or 'kept'}]  {cache}  "
+            f"query={entry.get('query', '')!r}"
+            + (f"  error={error}" if error else "")
+        )
+        spans = entry.get("spans")
+        if spans:
+            for line in render_trace([spans]).splitlines():
+                lines.append(f"    {line}")
+        lines.append("")
+    return "\n".join(lines).rstrip()

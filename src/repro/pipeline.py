@@ -31,14 +31,14 @@ from repro.core.assignment import PatternContextAssigner
 from repro.core.context import ContextPaperSet
 from repro.core.patterns import AnalyzedPaperCache
 from repro.core.scores import PrestigeScores
-from repro.core.search import ContextSearchEngine, SearchHit
+from repro.core.search import ContextSearchEngine, RankingExplanation, SearchHit
 from repro.core.vectors import PaperVectorStore
 from repro.corpus.corpus import Corpus
 from repro.datagen.corpus_gen import CorpusGenerator, GeneratedDataset
 from repro.datagen.ontology_gen import OntologyGenerator
 from repro.index.inverted import InvertedIndex
 from repro.index.search import KeywordSearchEngine
-from repro.obs import get_registry, span
+from repro.obs import get_registry, get_telemetry, span
 from repro.ontology.ontology import Ontology
 from repro.serving import SearchResultCache, ServingView, SubstrateStore
 
@@ -454,12 +454,17 @@ class Pipeline:
         request (same query, function, paper set, strategy, limit,
         threshold) was answered since the last artifact change; pass
         ``use_cache=False`` to force a fresh evaluation.
+
+        Runs inside a request-scoped telemetry context (query id, root
+        span, sampling, SLO event) -- see :mod:`repro.obs.request`.
         """
         view = self._view()
         cache = view.result_cache
         caching = use_cache and cache.enabled
         key = (query, function, paper_set_name, selection_strategy, limit, threshold)
-        with span(
+        with get_telemetry().request(
+            "search", query=query, function=function, paper_set=paper_set_name
+        ) as request, span(
             "pipeline.search",
             query=query,
             function=function,
@@ -467,6 +472,7 @@ class Pipeline:
         ) as trace:
             if caching:
                 cached = cache.get(key)
+                request.cache(hit=cached is not None)
                 if cached is not None:
                     trace.set(cache="hit", hits=len(cached))
                     return cached
@@ -475,6 +481,7 @@ class Pipeline:
             if caching:
                 trace.set(cache="miss")
                 cache.put(key, hits)
+            request.set(hits=len(hits))
             return hits
 
     def search_many(
@@ -501,7 +508,13 @@ class Pipeline:
         view = self._view()
         cache = view.result_cache
         caching = use_cache and cache.enabled
-        with span(
+        with get_telemetry().request(
+            "search_many",
+            query=f"[batch of {len(queries)}]",
+            queries=max(len(queries), 1),
+            function=function,
+            paper_set=paper_set_name,
+        ) as request, span(
             "pipeline.search_many",
             queries=len(queries),
             function=function,
@@ -519,6 +532,10 @@ class Pipeline:
                     results[position] = cached
                 else:
                     misses.append(position)
+            if caching:
+                request.cache_batch(
+                    hits=len(queries) - len(misses), lookups=len(queries)
+                )
             trace.set(cached=len(queries) - len(misses))
             if misses:
                 engine = view.engine(function, paper_set_name, selection_strategy)
@@ -537,6 +554,35 @@ class Pipeline:
                         )
                         cache.put(key, hits)
             return [hits if hits is not None else [] for hits in results]
+
+    def explain(
+        self,
+        query: str,
+        paper_id: str,
+        function: str = "text",
+        paper_set_name: str = "text",
+        selection_strategy: str = "probe",
+        max_contexts: int = 5,
+    ) -> RankingExplanation:
+        """Why (or why not) ``paper_id`` ranks for ``query``.
+
+        Pipeline-level counterpart of
+        :meth:`~repro.core.search.ContextSearchEngine.explain`, resolved
+        against the current serving view's memoised engine and wrapped in
+        the same request-scoped telemetry as :meth:`search` (kind
+        ``explain``).
+        """
+        view = self._view()
+        with get_telemetry().request(
+            "explain", query=query, function=function, paper_set=paper_set_name
+        ), span(
+            "pipeline.explain",
+            query=query,
+            paper=paper_id,
+            function=function,
+        ):
+            engine = view.engine(function, paper_set_name, selection_strategy)
+            return engine.explain(query, paper_id, max_contexts=max_contexts)
 
     # -- experiment views -----------------------------------------------------------
 

@@ -81,6 +81,8 @@ class SubstrateStore:
     def _bump(self) -> None:
         with self._mutation_lock:
             self._revision += 1
+            revision = self._revision
+        get_registry().gauge("serving.substrate.revision").set(revision)
 
     # -- lazily built substrates ----------------------------------------------------
 

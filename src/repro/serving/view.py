@@ -13,6 +13,7 @@ half-invalidated cache.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -44,6 +45,8 @@ class SearchResultCache:
         self.capacity = capacity
         self._entries: "OrderedDict[Tuple, List[SearchHit]]" = OrderedDict()
         self._lock = threading.Lock()
+        self._hits = 0
+        self._lookups = 0
 
     @property
     def enabled(self) -> bool:
@@ -53,16 +56,31 @@ class SearchResultCache:
         with self._lock:
             return len(self._entries)
 
+    @property
+    def hit_rate(self) -> Optional[float]:
+        """Lifetime hit fraction of *this* cache (None before any lookup).
+
+        Per-instance, unlike the process-wide ``search.cache.{hit,miss}``
+        counters which survive view swaps -- this is the number the view
+        exports as the ``search.cache.hit_rate`` gauge.
+        """
+        with self._lock:
+            if not self._lookups:
+                return None
+            return self._hits / self._lookups
+
     def get(self, key: Tuple) -> Optional[List[SearchHit]]:
         if not self.enabled:
             return None
         registry = get_registry()
         with self._lock:
+            self._lookups += 1
             entry = self._entries.get(key)
             if entry is None:
                 registry.counter("search.cache.miss").inc()
                 return None
             self._entries.move_to_end(key)
+            self._hits += 1
             registry.counter("search.cache.hit").inc()
             return list(entry)
 
@@ -105,6 +123,7 @@ class ServingView:
         self.revision = revision
         self.w_prestige = w_prestige
         self.w_matching = w_matching
+        self.created_at = time.monotonic()
         self.result_cache = SearchResultCache(capacity=result_cache_size)
         self._engines: Dict[Tuple[str, str, str], ContextSearchEngine] = {}
         self._engines_lock = threading.Lock()
@@ -156,3 +175,25 @@ class ServingView:
     def engine_count(self) -> int:
         with self._engines_lock:
             return len(self._engines)
+
+    @property
+    def age_seconds(self) -> float:
+        """Seconds since this view was built (staleness indicator)."""
+        return time.monotonic() - self.created_at
+
+    def export_gauges(self) -> None:
+        """Publish this view's point-in-time state as gauges.
+
+        Run by the exposition endpoint's collector hook before every
+        scrape (``serving.view.{revision,age_seconds,engines}``,
+        ``search.cache.{hit_rate,size}``) -- gauges are last-write-wins,
+        so only the current view should export.
+        """
+        registry = get_registry()
+        registry.gauge("serving.view.revision").set(self.revision)
+        registry.gauge("serving.view.age_seconds").set(self.age_seconds)
+        registry.gauge("serving.view.engines").set(self.engine_count())
+        registry.gauge("search.cache.size").set(len(self.result_cache))
+        hit_rate = self.result_cache.hit_rate
+        if hit_rate is not None:
+            registry.gauge("search.cache.hit_rate").set(hit_rate)

@@ -9,11 +9,29 @@ expensive part of the suite.
 import pytest
 
 from repro.corpus.corpus import Corpus
+from repro.obs import reset_registry, reset_telemetry
 from repro.corpus.paper import Paper
 from repro.datagen.corpus_gen import CorpusGenerator
 from repro.datagen.ontology_gen import OntologyGenerator
 from repro.ontology.ontology import Ontology
 from repro.ontology.term import Term
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs_state():
+    """Every test starts and ends with fresh process-wide obs state.
+
+    Counters accumulated by session-scoped fixture builds (or earlier
+    tests) must never leak into a test's metric assertions, and query
+    telemetry enabled by one test must not capture another's requests.
+    Tracing is deliberately left alone: tests manage their own tracers
+    via start_tracing()/stop_tracing().
+    """
+    reset_registry()
+    reset_telemetry()
+    yield
+    reset_registry()
+    reset_telemetry()
 
 
 @pytest.fixture(scope="session")

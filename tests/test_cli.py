@@ -290,6 +290,103 @@ class TestIngest:
         assert [h.paper_id for h in hits] == ["PMID:100"]
 
 
+class TestObsTelemetry:
+    def _queries(self, data_dir, n=3):
+        obo_text = (data_dir / "ontology.obo").read_text(encoding="utf-8")
+        names = [
+            " ".join(line.split()[1:3])
+            for line in obo_text.splitlines()
+            if line.startswith("name: ") and len(line.split()) > 3
+        ]
+        return names[:n]
+
+    @pytest.fixture()
+    def telemetry_dump(self, data_dir, tmp_path, capsys):
+        """Run a batch search with --telemetry-out and return the dump path."""
+        queries_file = tmp_path / "queries.txt"
+        queries_file.write_text(
+            "\n".join(self._queries(data_dir)) + "\n", encoding="utf-8"
+        )
+        out = tmp_path / "telemetry.json"
+        code = main([
+            "search", "--data", str(data_dir),
+            "--queries-file", str(queries_file), "--workers", "2",
+            "--telemetry-out", str(out), "--sample-rate", "1.0",
+        ])
+        capsys.readouterr()
+        assert code in (0, 1)
+        return out
+
+    def test_telemetry_out_written_with_spans(self, telemetry_dump):
+        data = json.loads(telemetry_dump.read_text(encoding="utf-8"))
+        assert data["enabled"] is True
+        assert data["window_events"] >= 1
+        (entry,) = data["slowlog"]
+        assert entry["kind"] == "search_many"
+        assert entry["spans"]["name"] == "request.search_many"
+        assert {status["name"] for status in data["slo"]} >= {
+            "search-latency-p95", "search-errors",
+        }
+
+    def test_obs_slowlog_renders_dump(self, telemetry_dump, capsys):
+        code = main(["obs", "slowlog", "--file", str(telemetry_dump)])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "#1" in output and "search_many" in output
+        assert "request.search_many" in output  # span tree included
+
+    def test_obs_slo_renders_dump(self, telemetry_dump, capsys):
+        code = main(["obs", "slo", "--file", str(telemetry_dump)])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "search-latency-p95" in output
+        assert "OK" in output or "VIOLATED" in output or "no data" in output
+
+    def test_custom_slo_spec_flows_into_dump(
+        self, data_dir, tmp_path, capsys
+    ):
+        out = tmp_path / "telemetry.json"
+        query = self._queries(data_dir, n=1)[0]
+        main([
+            "search", "--data", str(data_dir), "--query", query,
+            "--telemetry-out", str(out),
+            "--slo", "my-p99:latency:2s:99%:60s",
+        ])
+        capsys.readouterr()
+        data = json.loads(out.read_text(encoding="utf-8"))
+        assert [status["name"] for status in data["slo"]] == ["my-p99"]
+
+    def test_bad_slo_spec_fails_fast(self, data_dir, tmp_path):
+        with pytest.raises(SystemExit, match="bad SLO spec"):
+            main([
+                "search", "--data", str(data_dir), "--query", "x",
+                "--telemetry-out", str(tmp_path / "t.json"),
+                "--slo", "nope:latency:95%",
+            ])
+
+    def test_obs_slowlog_missing_file_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["obs", "slowlog", "--file", str(tmp_path / "absent.json")])
+
+    def test_obs_serve_smoke(self, data_dir, capsys):
+        from repro.obs import get_registry
+
+        code = main([
+            "obs", "serve", "--data", str(data_dir),
+            "--port", "0", "--warmup", "3", "--for-seconds", "0",
+        ])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "warmed up with 3 queries" in output
+        assert "serving /metrics /health /slo /slowlog on http://" in output
+        # Warmup exercised both request kinds, so a scrape would expose
+        # both latency histograms (routes themselves are covered by
+        # tests/test_obs_server.py).
+        registry = get_registry()
+        assert registry.histogram("search.run.latency").count >= 3
+        assert registry.histogram("search.batch.latency").count == 1
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

@@ -106,6 +106,18 @@ class TestHistogram:
         assert histogram.percentile(50) == 7.0
         assert histogram.percentile(99) == 7.0
 
+    def test_percentile_max_samples_one(self):
+        # A one-slot ring: every observation evicts the last, and
+        # nearest-rank over a single retained sample is that sample for
+        # every percentile, while exact aggregates keep the full stream.
+        histogram = Histogram("a.b.c", max_samples=1)
+        for value in (3.0, 9.0, 5.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == 17.0
+        for p in (1, 50, 95, 99, 100):
+            assert histogram.percentile(p) == 5.0
+
     def test_percentile_empty_is_none(self):
         assert Histogram("a.b.c").percentile(50) is None
 

@@ -1,0 +1,174 @@
+"""Exposition endpoint: Prometheus text rendering and the HTTP routes.
+
+Unit coverage of :mod:`repro.obs.prom` (name flattening, the text
+format) plus a live :class:`~repro.obs.server.ExpositionServer` bound to
+an ephemeral port and scraped with urllib -- no third-party client, the
+same way Prometheus itself would hit it.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import configure_telemetry, get_registry, prom_name, render_prometheus
+from repro.obs.server import ExpositionServer
+
+
+class TestPromName:
+    def test_dots_become_underscores(self):
+        assert prom_name("search.run.latency") == "search_run_latency"
+
+    def test_dashes_become_underscores(self):
+        assert prom_name("search-p95.latency.x") == "search_p95_latency_x"
+
+    def test_invalid_leading_char_handled(self):
+        name = prom_name("1weird.name")
+        assert name[0] not in "0123456789"
+
+
+class TestRenderPrometheus:
+    def test_counters_get_total_suffix(self):
+        registry = get_registry()
+        registry.counter("search.request.queries").inc(3)
+        text = render_prometheus(registry.snapshot())
+        assert "# TYPE search_request_queries_total counter" in text
+        assert "search_request_queries_total 3" in text
+        assert "search.request.queries" in text  # dotted original in HELP
+
+    def test_gauges_rendered_plain(self):
+        get_registry().gauge("serving.view.revision").set(7)
+        text = render_prometheus(get_registry().snapshot())
+        assert "# TYPE serving_view_revision gauge" in text
+        assert "serving_view_revision 7" in text
+
+    def test_histograms_rendered_as_summaries_with_quantiles(self):
+        histogram = get_registry().histogram("search.run.latency")
+        for value in (0.1, 0.2, 0.3):
+            histogram.observe(value)
+        text = render_prometheus(get_registry().snapshot())
+        assert "# TYPE search_run_latency summary" in text
+        for quantile in ("0.5", "0.95", "0.99"):
+            assert f'search_run_latency{{quantile="{quantile}"}}' in text
+        assert "search_run_latency_count 3" in text
+        assert "search_run_latency_sum" in text
+
+    def test_empty_histogram_emits_no_quantiles(self):
+        get_registry().histogram("search.run.latency")
+        text = render_prometheus(get_registry().snapshot())
+        assert "quantile=" not in text
+        assert "search_run_latency_count 0" in text
+
+
+def _get(server, path):
+    url = f"http://{server.host}:{server.port}{path}"
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers, response.read().decode()
+
+
+@pytest.fixture
+def server():
+    with ExpositionServer(port=0) as live:
+        yield live
+
+
+class TestRoutes:
+    def test_metrics_route_serves_prometheus_text(self, server):
+        get_registry().counter("search.request.queries").inc()
+        status, headers, body = _get(server, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in headers["Content-Type"]
+        assert "search_request_queries_total 1" in body
+
+    def test_health_route(self, server):
+        status, headers, body = _get(server, "/health")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["uptime_s"] >= 0.0
+
+    def test_slo_route_reflects_live_telemetry(self, server):
+        telemetry = configure_telemetry(enabled=True, sample_rate=0.0)
+        with telemetry.request("search", query="q"):
+            pass
+        _, _, body = _get(server, "/slo")
+        statuses = {s["name"]: s for s in json.loads(body)["slo"]}
+        assert statuses["search-errors"]["total"] == 1
+        assert statuses["search-errors"]["met"] is True
+
+    def test_slowlog_route(self, server):
+        telemetry = configure_telemetry(enabled=True, sample_rate=1.0)
+        with telemetry.request("search", query="captured"):
+            pass
+        _, _, body = _get(server, "/slowlog")
+        (entry,) = json.loads(body)["slowlog"]
+        assert entry["query"] == "captured"
+        assert entry["spans"]["name"] == "request.search"
+
+    def test_unknown_route_404s(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server, "/nope")
+        assert excinfo.value.code == 404
+        assert "no route" in json.loads(excinfo.value.read().decode())["error"]
+
+    def test_trailing_slash_and_query_string_normalised(self, server):
+        status, _, _ = _get(server, "/health/?verbose=1")
+        assert status == 200
+
+
+class TestCollectorsAndHealthInfo:
+    def test_collectors_run_on_every_scrape(self):
+        calls = []
+
+        def collector():
+            calls.append(True)
+            get_registry().gauge("serving.view.age_seconds").set(1.0)
+
+        with ExpositionServer(port=0, collectors=[collector]) as server:
+            _, _, body = _get(server, "/metrics")
+            _get(server, "/health")
+        assert len(calls) == 2
+        assert "serving_view_age_seconds 1" in body
+
+    def test_failing_collector_does_not_break_scrapes(self):
+        def bad():
+            raise RuntimeError("collector exploded")
+
+        with ExpositionServer(port=0, collectors=[bad]) as server:
+            status, _, _ = _get(server, "/metrics")
+        assert status == 200
+
+    def test_health_info_merged_and_degraded_on_failure(self):
+        with ExpositionServer(
+            port=0, health_info=lambda: {"papers": 42}
+        ) as server:
+            payload = json.loads(_get(server, "/health")[2])
+        assert payload["papers"] == 42 and payload["status"] == "ok"
+
+        def broken():
+            raise KeyError("view gone")
+
+        with ExpositionServer(port=0, health_info=broken) as server:
+            payload = json.loads(_get(server, "/health")[2])
+        assert payload["status"] == "degraded"
+        assert "KeyError" in payload["error"]
+
+
+class TestLifecycle:
+    def test_ephemeral_port_bound_and_stop_releases(self):
+        server = ExpositionServer(port=0).start()
+        port = server.port
+        assert port != 0
+        server.stop()
+        # The port is released: a fresh server can bind it immediately.
+        rebound = ExpositionServer(port=port).start()
+        assert rebound.port == port
+        rebound.stop()
+
+    def test_double_start_rejected(self):
+        with ExpositionServer(port=0) as server:
+            with pytest.raises(RuntimeError, match="already started"):
+                server.start()

@@ -1,0 +1,202 @@
+"""SLO declarations: parsing, windowed evaluation, error budgets.
+
+Pure-function coverage of :mod:`repro.obs.slo` -- the same evaluation
+code backs the live ``/slo`` endpoint and the ``repro obs slo`` dump
+renderer, so everything here is exercised with hand-built events.
+"""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_SLOS,
+    QueryEvent,
+    SLO,
+    evaluate_slo,
+    evaluate_slos,
+    format_slo_report,
+    parse_slo,
+)
+
+
+def _event(ts=0.0, duration_s=0.1, **kwargs):
+    return QueryEvent(ts=ts, kind="search", duration_s=duration_s, **kwargs)
+
+
+class TestParseSlo:
+    def test_latency_spec_with_ms_threshold(self):
+        slo = parse_slo("search-p95:latency:250ms:95%:300s")
+        assert slo.name == "search-p95"
+        assert slo.kind == "latency"
+        assert slo.threshold_s == pytest.approx(0.25)
+        assert slo.target == pytest.approx(0.95)
+        assert slo.window_s == pytest.approx(300.0)
+
+    def test_latency_spec_with_seconds_threshold(self):
+        slo = parse_slo("slowish:latency:1.5s:90%")
+        assert slo.threshold_s == pytest.approx(1.5)
+        assert slo.window_s == pytest.approx(300.0)  # default window
+
+    def test_rate_specs(self):
+        errors = parse_slo("errs:error_rate:99.9%:60s")
+        assert errors.kind == "error_rate"
+        assert errors.target == pytest.approx(0.999)
+        assert errors.window_s == pytest.approx(60.0)
+        cache = parse_slo("hits:cache_hit_rate:25%")
+        assert cache.kind == "cache_hit_rate"
+        assert cache.threshold_s is None
+
+    def test_spec_round_trips_through_parse(self):
+        for slo in DEFAULT_SLOS:
+            parsed = parse_slo(slo.spec())
+            assert (parsed.name, parsed.kind) == (slo.name, slo.kind)
+            # "99.9%" -> 0.999 reintroduces float noise; approx it.
+            assert parsed.target == pytest.approx(slo.target)
+            assert parsed.window_s == pytest.approx(slo.window_s)
+            if slo.kind == "latency":
+                assert parsed.threshold_s == pytest.approx(slo.threshold_s)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",  # nothing
+            "name-only",
+            "x:latency:95%",  # latency without threshold
+            "x:latency:250:95%",  # threshold missing unit
+            "x:error_rate:95",  # target missing %
+            "x:error_rate:95%:60",  # window missing s
+            "x:bogus_kind:95%",
+            ":error_rate:95%",  # empty name
+            "x:error_rate:95%:60s:extra",
+        ],
+    )
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_slo(bad)
+
+
+class TestSloValidation:
+    def test_target_bounds(self):
+        with pytest.raises(ValueError, match="target"):
+            SLO("x", "error_rate", target=0.0)
+        with pytest.raises(ValueError, match="target"):
+            SLO("x", "error_rate", target=1.1)
+
+    def test_latency_needs_threshold(self):
+        with pytest.raises(ValueError, match="threshold"):
+            SLO("x", "latency", target=0.95)
+
+    def test_kind_checked(self):
+        with pytest.raises(ValueError, match="kind"):
+            SLO("x", "availability", target=0.99)
+
+    def test_window_positive(self):
+        with pytest.raises(ValueError, match="window"):
+            SLO("x", "error_rate", target=0.99, window_s=0.0)
+
+
+class TestEvaluateLatency:
+    SLO_95 = SLO("p95", "latency", target=0.95, threshold_s=0.25)
+
+    def test_counts_good_and_bad_by_threshold(self):
+        events = [_event(duration_s=0.1)] * 19 + [_event(duration_s=0.9)]
+        status = evaluate_slo(self.SLO_95, events, now=0.0)
+        assert (status.total, status.good, status.bad) == (20, 19, 1)
+        assert status.sli == pytest.approx(0.95)
+        assert status.met is True
+        assert status.allowed_bad == pytest.approx(1.0)
+        assert status.budget_remaining == pytest.approx(0.0)
+
+    def test_errored_events_are_bad_regardless_of_latency(self):
+        events = [_event(duration_s=0.01, error=True)]
+        status = evaluate_slo(self.SLO_95, events, now=0.0)
+        assert status.good == 0 and status.bad == 1
+        assert status.met is False
+
+    def test_batches_weigh_by_query_count(self):
+        events = [_event(duration_s=0.1, queries=10)]
+        status = evaluate_slo(self.SLO_95, events, now=0.0)
+        assert status.total == 10 and status.good == 10
+
+    def test_window_excludes_old_events(self):
+        slo = SLO("p95", "latency", target=0.95, threshold_s=0.25, window_s=60.0)
+        events = [
+            _event(ts=0.0, duration_s=9.9),  # outside the window -> ignored
+            _event(ts=100.0, duration_s=0.1),
+        ]
+        status = evaluate_slo(slo, events, now=120.0)
+        assert status.total == 1
+        assert status.met is True
+
+
+class TestEvaluateRates:
+    def test_error_rate(self):
+        slo = SLO("errs", "error_rate", target=0.5)
+        events = [_event(), _event(error=True), _event(), _event(error=True)]
+        status = evaluate_slo(slo, events, now=0.0)
+        assert status.sli == pytest.approx(0.5)
+        assert status.met is True
+        assert status.budget_remaining == pytest.approx(0.0)
+
+    def test_cache_hit_rate_uses_lookups_not_requests(self):
+        slo = SLO("hits", "cache_hit_rate", target=0.25)
+        events = [
+            _event(cache_hits=3, cache_lookups=4),
+            _event(),  # no lookups: contributes nothing
+        ]
+        status = evaluate_slo(slo, events, now=0.0)
+        assert status.total == 4 and status.good == 3
+        assert status.met is True
+
+
+class TestErrorBudget:
+    def test_no_data_means_full_budget_and_no_verdict(self):
+        status = evaluate_slo(DEFAULT_SLOS[0], [], now=0.0)
+        assert status.total == 0
+        assert status.sli is None and status.met is None
+        assert status.budget_remaining == pytest.approx(1.0)
+
+    def test_budget_drains_linearly_and_clamps(self):
+        slo = SLO("errs", "error_rate", target=0.9)  # 10% allowance
+        good = [_event()] * 18
+        one_bad = evaluate_slo(slo, good + [_event(error=True)] * 2, now=0.0)
+        assert one_bad.allowed_bad == pytest.approx(2.0)
+        assert one_bad.budget_remaining == pytest.approx(0.0)
+        overdrawn = evaluate_slo(slo, good + [_event(error=True)] * 6, now=0.0)
+        assert overdrawn.budget_remaining == 0.0  # clamped, not negative
+
+    def test_perfect_target_budget_is_binary(self):
+        slo = SLO("strict", "error_rate", target=1.0)
+        clean = evaluate_slo(slo, [_event()] * 5, now=0.0)
+        assert clean.budget_remaining == 1.0 and clean.met is True
+        dirty = evaluate_slo(slo, [_event(), _event(error=True)], now=0.0)
+        assert dirty.budget_remaining == 0.0 and dirty.met is False
+
+
+class TestReport:
+    def test_evaluate_slos_preserves_order(self):
+        statuses = evaluate_slos(DEFAULT_SLOS, [], now=0.0)
+        assert [status.slo.name for status in statuses] == [
+            slo.name for slo in DEFAULT_SLOS
+        ]
+
+    def test_format_slo_report_states(self):
+        events = [_event(duration_s=0.1, cache_hits=0, cache_lookups=4)]
+        statuses = [
+            status.to_dict()
+            for status in evaluate_slos(DEFAULT_SLOS, events, now=0.0)
+        ]
+        report = format_slo_report(statuses)
+        assert "search-latency-p95" in report
+        assert "OK" in report
+        assert "VIOLATED" in report  # cache-hit SLO: 0/4 hits
+
+    def test_format_slo_report_empty(self):
+        assert format_slo_report([]) == "(no SLOs declared)"
+
+    def test_status_dict_is_json_ready(self):
+        import json
+
+        status = evaluate_slo(DEFAULT_SLOS[0], [_event()], now=0.0)
+        assert json.loads(json.dumps(status.to_dict()))["name"] == (
+            "search-latency-p95"
+        )

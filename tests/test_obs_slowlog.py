@@ -1,0 +1,99 @@
+"""Slow-query log: bounded slowest-N retention and ASCII rendering."""
+
+import pytest
+
+from repro.obs import SlowQueryLog, configure_telemetry, render_slowlog, span
+
+
+class _FakeRecord:
+    """Just enough of a QueryRecord for the log's ordering logic."""
+
+    def __init__(self, duration_s, query_id="q"):
+        self.duration_s = duration_s
+        self.query_id = query_id
+
+    def to_dict(self):
+        return {"query_id": self.query_id, "duration_ms": self.duration_s * 1e3}
+
+
+class TestSlowQueryLog:
+    def test_keeps_everything_under_capacity(self):
+        log = SlowQueryLog(capacity=4)
+        for duration in (0.3, 0.1, 0.2):
+            assert log.offer(_FakeRecord(duration)) is True
+        assert len(log) == 3
+
+    def test_evicts_fastest_once_full(self):
+        log = SlowQueryLog(capacity=3)
+        for duration in (0.3, 0.1, 0.2):
+            log.offer(_FakeRecord(duration))
+        assert log.offer(_FakeRecord(0.5)) is True  # evicts the 0.1
+        assert [r.duration_s for r in log.records()] == [0.5, 0.3, 0.2]
+
+    def test_rejects_records_faster_than_the_floor(self):
+        log = SlowQueryLog(capacity=2)
+        log.offer(_FakeRecord(0.3))
+        log.offer(_FakeRecord(0.2))
+        assert log.offer(_FakeRecord(0.1)) is False
+        assert len(log) == 2
+
+    def test_records_slowest_first_ties_in_arrival_order(self):
+        log = SlowQueryLog(capacity=4)
+        log.offer(_FakeRecord(0.2, "first"))
+        log.offer(_FakeRecord(0.2, "second"))
+        log.offer(_FakeRecord(0.4, "slowest"))
+        assert [r.query_id for r in log.records()] == [
+            "slowest", "first", "second",
+        ]
+
+    def test_capacity_one_tracks_the_single_slowest(self):
+        log = SlowQueryLog(capacity=1)
+        for duration in (0.1, 0.5, 0.3):
+            log.offer(_FakeRecord(duration))
+        (record,) = log.records()
+        assert record.duration_s == 0.5
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SlowQueryLog(capacity=0)
+
+    def test_clear(self):
+        log = SlowQueryLog(capacity=2)
+        log.offer(_FakeRecord(0.1))
+        log.clear()
+        assert len(log) == 0 and log.to_dicts() == []
+
+
+class TestRenderSlowlog:
+    def _entries(self):
+        """Real captured entries via an enabled telemetry."""
+        telemetry = configure_telemetry(
+            enabled=True, sample_rate=0.0, slow_ms=0.0
+        )
+        with telemetry.request("search", query="glucose flux") as request:
+            with span("search.run"):
+                pass
+            request.cache(hit=True)
+        with pytest.raises(RuntimeError):
+            with telemetry.request("search", query="broken"):
+                raise RuntimeError("exploded")
+        return telemetry.slowlog.to_dicts()
+
+    def test_renders_header_flags_cache_and_span_tree(self):
+        text = render_slowlog(self._entries())
+        assert "#1" in text and "#2" in text
+        assert "[slow]" in text
+        assert "cache=1/1" in text
+        assert "query='glucose flux'" in text
+        assert "error=RuntimeError: exploded" in text
+        # The span tree is indented under its entry's header line.
+        assert "request.search" in text
+        assert "search.run" in text
+
+    def test_limit_truncates(self):
+        entries = self._entries()
+        text = render_slowlog(entries, limit=1)
+        assert "#1" in text and "#2" not in text
+
+    def test_empty(self):
+        assert render_slowlog([]) == "(slow-query log is empty)"

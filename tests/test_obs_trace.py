@@ -93,6 +93,21 @@ class TestSpanNesting:
             "eval.decorated.run", "eval.decorated.run"
         ]
 
+    def test_decorator_sets_error_attr_on_raise(self):
+        # The error= contract must hold in both forms: the
+        # context-manager case is covered above, this is the decorator.
+        @span("eval.decorated.run")
+        def explode():
+            raise ValueError("bad input")
+
+        tracer = start_tracing()
+        with pytest.raises(ValueError, match="bad input"):
+            explode()
+        stop_tracing()
+        (root,) = tracer.roots
+        assert root.attrs["error"] == "ValueError: bad input"
+        assert root.duration >= 0.0
+
 
 class TestDisabledFastPath:
     def test_span_yields_null_span_without_tracer(self):

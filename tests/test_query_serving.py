@@ -113,6 +113,31 @@ class TestResultCache:
         assert cache.get(("a",)) is not None
         assert cache.get(("b",)) is None
 
+    def test_hit_rate_tracks_this_instance(self):
+        cache = SearchResultCache(capacity=4)
+        assert cache.hit_rate is None  # no lookups yet
+        cache.put(("a",), [])
+        cache.get(("a",))
+        cache.get(("b",))
+        assert cache.hit_rate == 0.5
+
+    def test_export_gauges_publishes_view_state(self, pipeline):
+        from repro.obs import get_registry
+
+        pipeline.search("gene expression", limit=5)
+        pipeline.search("gene expression", limit=5)
+        view = pipeline.serving_view
+        view.export_gauges()
+        gauges = get_registry().snapshot()["gauges"]
+        assert gauges["serving.view.revision"] == view.revision
+        assert gauges["serving.view.engines"] == view.engine_count()
+        assert gauges["search.cache.size"] == len(view.result_cache)
+        # The shared pipeline's cache has seen other tests' lookups;
+        # assert the gauge mirrors the instance, not a fixed ratio.
+        assert gauges["search.cache.hit_rate"] == view.result_cache.hit_rate
+        assert view.result_cache.hit_rate > 0.0
+        assert gauges["serving.view.age_seconds"] >= 0.0
+
     def test_negative_capacity_rejected(self):
         with pytest.raises(ValueError):
             SearchResultCache(capacity=-1)

@@ -1,14 +1,23 @@
 #!/usr/bin/env python3
-"""Fail CI when a stored benchmark result regresses below its floor.
+"""Fail CI when a stored benchmark result regresses past its floor.
 
-Reads ``benchmarks/results/BENCH_query_serving_speedup.json`` (written by
-``benchmarks/test_perf_query_serving.py``) and exits 1 if the recorded
-single-query speedup of the single-scan serving path over the legacy
-two-scan path has dropped below the floor the benchmark asserts.  The
-floor travels inside the payload so bench and gate cannot drift apart.
+Each gate reads one payload from ``benchmarks/results/`` (written by the
+corresponding ``benchmarks/test_perf_*.py`` bench) and compares a
+recorded metric against the floor the benchmark asserts.  Floors travel
+*inside* the payloads so bench and gate cannot drift apart.
 
-When no result file exists (the benchmarks have not been run on this
-checkout) the check is skipped with exit 0 -- the gate guards recorded
+Gates:
+
+- ``BENCH_query_serving_speedup.json`` -- the single-query speedup of
+  the single-scan serving path over the legacy two-scan path must stay
+  **at or above** its floor (``benchmarks/test_perf_query_serving.py``);
+- ``BENCH_obs_overhead.json`` -- the telemetry-disabled fast path must
+  stay **at or below** 2% overhead versus a stripped baseline, and the
+  sampled-tracing path at or below 10%
+  (``benchmarks/test_perf_obs_overhead.py``).
+
+When a result file does not exist (that bench has not been run on this
+checkout) its gate is skipped with exit 0 -- the gate guards recorded
 results, it does not force a bench run into every CI invocation.
 """
 
@@ -16,45 +25,100 @@ from __future__ import annotations
 
 import json
 import sys
+from dataclasses import dataclass
 from pathlib import Path
+from typing import Optional, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-RESULT_PATH = REPO_ROOT / "benchmarks" / "results" / "BENCH_query_serving_speedup.json"
-#: Fallback floor when an old payload carries none.
-DEFAULT_FLOOR = 3.0
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
 
 
-def main() -> int:
-    if not RESULT_PATH.exists():
-        print(
-            f"check_bench_regression: {RESULT_PATH.relative_to(REPO_ROOT)} "
-            "not found; skipping (run the benchmarks to record a result)"
-        )
-        return 0
-    try:
-        payload = json.loads(RESULT_PATH.read_text(encoding="utf-8"))
-    except (OSError, json.JSONDecodeError) as error:
-        print(f"check_bench_regression: cannot read result payload: {error}")
-        return 1
-    speedup = payload.get("single_query_speedup")
-    floor = payload.get("floor", DEFAULT_FLOOR)
-    if not isinstance(speedup, (int, float)):
-        print(
-            "check_bench_regression: payload has no numeric "
-            f"'single_query_speedup': {payload!r}"
-        )
-        return 1
-    if speedup < floor:
-        print(
-            f"check_bench_regression: single-query serving speedup {speedup}x "
-            f"is below the {floor}x floor -- the single-scan fast path has "
-            "regressed (see benchmarks/test_perf_query_serving.py)"
-        )
-        return 1
-    print(
-        f"check_bench_regression: serving speedup {speedup}x >= {floor}x floor"
-    )
-    return 0
+@dataclass(frozen=True)
+class Gate:
+    """One recorded metric compared against a floor in the same payload."""
+
+    payload: str          # filename under benchmarks/results/
+    metric: str           # payload key holding the recorded value
+    floor_key: str        # payload key holding the floor
+    default_floor: float  # fallback when an old payload carries none
+    direction: str        # "min" = value must be >= floor, "max" = <= floor
+    label: str            # human name used in gate output
+    unit: str = ""
+    hint: str = ""        # pointer printed on failure
+
+    def check(self) -> Tuple[bool, str]:
+        """(passed, message); a missing payload passes with a skip note."""
+        path = RESULTS_DIR / self.payload
+        if not path.exists():
+            return True, (
+                f"skip {self.label}: {path.relative_to(REPO_ROOT)} not found "
+                "(run the benchmarks to record a result)"
+            )
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as error:
+            return False, f"cannot read {self.payload}: {error}"
+        value = payload.get(self.metric)
+        floor = payload.get(self.floor_key, self.default_floor)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return False, (
+                f"{self.payload} has no numeric {self.metric!r}: {payload!r}"
+            )
+        if self.direction == "min":
+            passed, op = value >= floor, ">="
+        else:
+            passed, op = value <= floor, "<="
+        message = f"{self.label}: {value}{self.unit} {op} {floor}{self.unit} floor"
+        if not passed:
+            message = (
+                f"{self.label} regressed: {value}{self.unit} violates the "
+                f"{floor}{self.unit} floor"
+                + (f" ({self.hint})" if self.hint else "")
+            )
+        return passed, message
+
+
+GATES = (
+    Gate(
+        payload="BENCH_query_serving_speedup.json",
+        metric="single_query_speedup",
+        floor_key="floor",
+        default_floor=3.0,
+        direction="min",
+        label="serving speedup",
+        unit="x",
+        hint="see benchmarks/test_perf_query_serving.py",
+    ),
+    Gate(
+        payload="BENCH_obs_overhead.json",
+        metric="disabled_overhead_pct",
+        floor_key="disabled_floor_pct",
+        default_floor=2.0,
+        direction="max",
+        label="telemetry-disabled overhead",
+        unit="%",
+        hint="see benchmarks/test_perf_obs_overhead.py",
+    ),
+    Gate(
+        payload="BENCH_obs_overhead.json",
+        metric="sampled_overhead_pct",
+        floor_key="sampled_floor_pct",
+        default_floor=10.0,
+        direction="max",
+        label="sampled-tracing overhead",
+        unit="%",
+        hint="see benchmarks/test_perf_obs_overhead.py",
+    ),
+)
+
+
+def main(gates: Optional[Tuple[Gate, ...]] = None) -> int:
+    failed = False
+    for gate in gates or GATES:
+        passed, message = gate.check()
+        print(f"check_bench_regression: {message}")
+        failed = failed or not passed
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

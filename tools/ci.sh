@@ -21,7 +21,7 @@ echo "== lint: workspace artifact registry =="
 python tools/check_workspace_manifest.py
 
 echo
-echo "== bench: serving-speedup regression gate =="
+echo "== bench: regression gates (serving speedup, obs overhead) =="
 python tools/check_bench_regression.py
 
 echo
