@@ -1,0 +1,119 @@
+"""Index-backend benchmark: ondisk mmap cold open vs memory full parse.
+
+The ondisk backend exists so opening a workspace is "mmap, not parse":
+``OndiskPostingsBackend`` maps the packed sidecar and reads only the
+JSON header, deferring postings decode to first use per term.  The
+memory backend's load, by contrast, parses the whole JSON snapshot and
+materialises every ``Posting`` up front.  This bench persists the same
+session index through both codecs, times the cold opens, and asserts
+the >= 10x floor the lazy path is meant to deliver (in practice it is
+far larger; the bar is conservative so CI noise cannot flake it).
+
+Resident postings bytes are recorded for both backends after an
+identical query workload, showing how much of the index the lazy
+backend actually materialised.  Ranking parity over the shared query
+workload is asserted too -- a faster open is worthless if the packed
+format changed what a query returns.
+
+Emits ``benchmarks/results/BENCH_index_backend.json`` (read by
+``tools/check_bench_regression.py``) in addition to the per-test
+``BENCH_test_perf_index_backend.json`` the conftest hook drops.
+"""
+
+import json
+import time
+
+from conftest import write_result
+
+from repro.index import backends
+from repro.index.search import KeywordSearchEngine
+
+MIN_COLD_OPEN_SPEEDUP = 10.0
+#: Cold opens per backend; best-of damps filesystem/scheduler noise.
+REPEATS = 3
+LIMIT = 10
+PARITY_QUERIES = 20
+
+
+def _best_of(repeats, action):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = action()
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+        close = getattr(result, "close", None)
+        if callable(close):
+            close()
+    return best
+
+
+def test_perf_index_backend(pipeline, queries, results_dir, tmp_path_factory):
+    workdir = tmp_path_factory.mktemp("index_backend")
+    memory_path = workdir / "index_memory.json"
+    ondisk_path = workdir / "index_ondisk.json"
+    source = pipeline.index  # built once by the session fixture
+    backends.get("memory").save(source, memory_path)
+    backends.get("ondisk").save(source, ondisk_path)
+
+    memory_open_seconds = _best_of(
+        REPEATS, lambda: backends.get("memory").load(memory_path)
+    )
+    ondisk_open_seconds = _best_of(
+        REPEATS, lambda: backends.get("ondisk").load(ondisk_path)
+    )
+    speedup = memory_open_seconds / max(ondisk_open_seconds, 1e-9)
+
+    # Ranking parity + resident-bytes comparison over the same workload.
+    memory_index = backends.get("memory").load(memory_path)
+    ondisk_index = backends.get("ondisk").load(ondisk_path)
+    memory_engine = KeywordSearchEngine(memory_index)
+    ondisk_engine = KeywordSearchEngine(ondisk_index)
+    workload = queries[:PARITY_QUERIES]
+    for query in workload:
+        assert ondisk_engine.search(query, limit=LIMIT) == memory_engine.search(
+            query, limit=LIMIT
+        )
+    memory_resident = memory_index.resident_postings_bytes()
+    ondisk_resident = ondisk_index.resident_postings_bytes()
+    # Lazy decode: after a bounded workload the mmap backend must hold
+    # only the touched slice of the postings, not the whole index.
+    assert ondisk_resident < memory_resident
+
+    sidecar_bytes = sum(
+        p.stat().st_size for p in (ondisk_path, ondisk_path.with_suffix(".bin"))
+    )
+    table = "\n".join([
+        f"papers                    {source.n_papers}",
+        f"terms                     {source.n_terms}",
+        f"memory cold open          {memory_open_seconds * 1000.0:10.2f} ms",
+        f"ondisk cold open          {ondisk_open_seconds * 1000.0:10.2f} ms",
+        f"cold-open speedup         {speedup:10.1f}x  "
+        f"(floor {MIN_COLD_OPEN_SPEEDUP:.0f}x)",
+        f"memory snapshot file      {memory_path.stat().st_size:10d} B",
+        f"ondisk descriptor+sidecar {sidecar_bytes:10d} B",
+        f"memory resident postings  {memory_resident:10d} B",
+        f"ondisk resident postings  {ondisk_resident:10d} B  "
+        f"(after {len(workload)} queries)",
+    ])
+    write_result(results_dir, "perf_index_backend", table)
+
+    payload = {
+        "papers": source.n_papers,
+        "terms": source.n_terms,
+        "cold_open_memory_seconds": round(memory_open_seconds, 6),
+        "cold_open_ondisk_seconds": round(ondisk_open_seconds, 6),
+        "cold_open_speedup": round(speedup, 3),
+        "floor": MIN_COLD_OPEN_SPEEDUP,
+        "memory_file_bytes": memory_path.stat().st_size,
+        "ondisk_file_bytes": sidecar_bytes,
+        "memory_resident_postings_bytes": memory_resident,
+        "ondisk_resident_postings_bytes": ondisk_resident,
+        "parity_queries": len(workload),
+    }
+    (results_dir / "BENCH_index_backend.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    ondisk_index.close()
+
+    assert speedup >= MIN_COLD_OPEN_SPEEDUP

@@ -22,6 +22,7 @@ Emits ``benchmarks/results/BENCH_query_serving_speedup.json`` (read by
 
 import json
 import time
+import tracemalloc
 
 from conftest import write_result
 
@@ -158,3 +159,20 @@ def test_perf_query_serving(pipeline, queries, results_dir):
     assert speedup >= MIN_SPEEDUP
     # Fan-out must not regress past noise even on a single, GIL-bound core.
     assert batch4_seconds <= batch1_seconds * MAX_BATCH_REGRESSION
+
+    # Warm postings() must return the cached immutable tuple, not a fresh
+    # list copy per call -- the allocation the tuple-view rework removed
+    # from every per-query term scan.  (After the timed loops so the
+    # tracemalloc hook cannot distort them.)
+    index = engine.keyword_engine.index
+    term = index.vocabulary()[0]
+    assert index.postings(term) is index.postings(term)
+    tracemalloc.start()
+    for _ in range(50):
+        index.postings(term)
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert peak_bytes < 16 * 1024, (
+        f"50 warm postings() calls allocated {peak_bytes} B peak; "
+        "the cached-tuple view should make them allocation-free"
+    )

@@ -51,6 +51,7 @@ from typing import List, Optional
 
 from repro import scoring
 from repro.core.search import SELECTION_STRATEGIES
+from repro.index import backends as index_backends
 from repro.corpus import write_corpus_jsonl
 from repro.datagen import CorpusGenerator, OntologyGenerator
 from repro.eval.experiments import PrecisionExperiment, SeparabilityExperiment
@@ -168,6 +169,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         args.data,
         use_workspace=not args.no_workspace,
         result_cache_size=0 if args.no_result_cache else 256,
+        index_backend=args.index_backend,
     )
     if args.queries_file is not None:
         queries = _read_queries_file(args.queries_file)
@@ -330,7 +332,9 @@ def _derive_queries(pipeline: Pipeline, n_queries: int) -> List[str]:
 
 def _cmd_build(args: argparse.Namespace) -> int:
     """Incrementally build the artifact workspace (`repro precompute` alias)."""
-    pipeline = _load_pipeline(args.data, use_workspace=False)
+    pipeline = _load_pipeline(
+        args.data, use_workspace=False, index_backend=args.index_backend
+    )
     report = pipeline.build_workspace(
         _workspace_dir(args.data), only=args.only or None, force=args.force
     )
@@ -344,10 +348,15 @@ def _cmd_workspace_status(args: argparse.Namespace) -> int:
     """Show per-artifact freshness of a data directory's workspace."""
     from repro.workspace import workspace_status
 
-    pipeline = _load_pipeline(args.data, use_workspace=False)
+    pipeline = _load_pipeline(
+        args.data, use_workspace=False, index_backend=args.index_backend
+    )
     statuses = workspace_status(pipeline, _workspace_dir(args.data))
     stale = 0
     print(f"workspace: {_workspace_dir(args.data)}")
+    stored = index_backends.sniff_backend(_workspace_dir(args.data) / "index.json")
+    on_disk = f" (on disk: {stored})" if stored else ""
+    print(f"index backend: {pipeline.index_backend}{on_disk}")
     for status in statuses:
         note = f"  ({status.reason})" if status.reason else ""
         print(f"  {status.name:<24} {status.state}{note}")
@@ -581,6 +590,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     search.add_argument("--limit", type=int, default=10)
     search.add_argument("--threshold", type=float, default=0.0)
+    # Like --function, choices derive from a registry (the index-backend
+    # one), so a backend registered by a plugin is usable with no CLI edits.
+    search.add_argument(
+        "--index-backend",
+        choices=index_backends.backend_names(),
+        default=index_backends.DEFAULT_BACKEND,
+        help="registered index backend used to build/open the inverted "
+        "index (see repro.index.backends)",
+    )
     search.add_argument(
         "--no-result-cache",
         action="store_true",
@@ -621,6 +639,13 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="rebuild the requested artifacts even if fresh",
         )
+        build.add_argument(
+            "--index-backend",
+            choices=index_backends.backend_names(),
+            default=index_backends.DEFAULT_BACKEND,
+            help="registered index backend used to build/open the inverted "
+            "index (see repro.index.backends)",
+        )
         build.set_defaults(func=_cmd_build)
 
     workspace = subparsers.add_parser(
@@ -631,6 +656,13 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="per-artifact freshness of a workspace"
     )
     ws_status.add_argument("--data", default="data")
+    ws_status.add_argument(
+        "--index-backend",
+        choices=index_backends.backend_names(),
+        default=index_backends.DEFAULT_BACKEND,
+        help="registered index backend used to build/open the inverted "
+        "index (see repro.index.backends)",
+    )
     ws_status.set_defaults(func=_cmd_workspace_status)
 
     tune = subparsers.add_parser(

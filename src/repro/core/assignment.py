@@ -28,7 +28,7 @@ from repro.core.patterns import (
 from repro.core.representative import select_representative
 from repro.core.vectors import PaperVectorStore
 from repro.corpus.corpus import Corpus
-from repro.index.inverted import InvertedIndex
+from repro.index.backends.base import SearchBackend
 from repro.obs import get_logger, get_registry, span
 from repro.ontology.ontology import Ontology
 
@@ -55,7 +55,7 @@ class TextContextAssigner:
         corpus: Corpus,
         ontology: Ontology,
         vectors: PaperVectorStore,
-        index: InvertedIndex,
+        index: SearchBackend,
         similarity_threshold: float = 0.18,
         candidate_terms: int = 30,
     ) -> None:
@@ -139,7 +139,7 @@ class PatternContextAssigner:
         self,
         corpus: Corpus,
         ontology: Ontology,
-        index: InvertedIndex,
+        index: SearchBackend,
         token_cache: Optional[AnalyzedPaperCache] = None,
         pattern_builder: Optional[PatternSetBuilder] = None,
         max_middle_coverage: float = 0.08,

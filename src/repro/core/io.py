@@ -20,7 +20,6 @@ from repro.core.patterns import AnalyzedPaperCache
 from repro.core.scores.base import PrestigeScores
 from repro.core.vectors import PaperVectorStore
 from repro.corpus.corpus import Corpus
-from repro.index.inverted import InvertedIndex
 from repro.ontology.ontology import Ontology
 from repro.text.analyze import Analyzer
 
@@ -144,15 +143,26 @@ def read_prestige_scores(path: PathLike) -> PrestigeScores:
 # the same convention as :func:`read_context_paper_set`'s ontology.
 
 
-def write_inverted_index(index: InvertedIndex, path: PathLike) -> None:
-    write_tagged_json(index.to_payload(), path, _INDEX_FORMAT)
+def write_inverted_index(index, path: PathLike) -> None:
+    """Persist an index via the memory backend's codec (compat shim).
+
+    New code should go through :func:`repro.index.backends.save_index`,
+    which dispatches on the backend that produced the object.
+    """
+    from repro.index import backends  # lazy: backends' codecs import this module
+
+    backends.get("memory").save(index, path)
 
 
-def read_inverted_index(
-    path: PathLike, analyzer: Optional[Analyzer] = None
-) -> InvertedIndex:
-    payload = read_tagged_json(path, _INDEX_FORMAT)
-    return InvertedIndex.from_payload(payload, analyzer=analyzer)
+def read_inverted_index(path: PathLike, analyzer: Optional[Analyzer] = None):
+    """Load a memory-backend index artifact (compat shim).
+
+    New code should go through :func:`repro.index.backends.open_index`,
+    which sniffs the format tag and dispatches to the owning backend.
+    """
+    from repro.index import backends  # lazy: backends' codecs import this module
+
+    return backends.get("memory").load(path, analyzer=analyzer)
 
 
 def write_vector_store(vectors: PaperVectorStore, path: PathLike) -> None:

@@ -41,7 +41,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.corpus.corpus import Corpus
 from repro.corpus.paper import Section, TEXT_SECTIONS
-from repro.index.inverted import InvertedIndex
+from repro.index.backends.base import SearchBackend
 from repro.obs import get_registry
 from repro.ontology.ontology import Ontology
 from repro.text.analyze import Analyzer, default_analyzer
@@ -190,7 +190,7 @@ class PatternSetBuilder:
         self,
         ontology: Ontology,
         corpus: Corpus,
-        index: InvertedIndex,
+        index: SearchBackend,
         token_cache: Optional[AnalyzedPaperCache] = None,
         window: int = 2,
         min_phrase_support: int = 2,

@@ -8,17 +8,24 @@ search with a high threshold", section 2).
   postings.
 - :mod:`repro.index.search` -- the :class:`KeywordSearchEngine` with
   TF-IDF ranking, threshold retrieval, and PubMed-style unranked listing.
+- :mod:`repro.index.backends` -- the pluggable :class:`SearchBackend`
+  registry (``memory``/``ondisk`` built-ins) every other layer talks to
+  instead of concrete index classes.
 """
 
 from repro.index.inverted import InvertedIndex, Posting
 from repro.index.positional import PositionalIndex
 from repro.index.search import KeywordHit, KeywordSearchEngine, QueryEvaluation
 from repro.index.snippets import Snippet, best_snippet
+from repro.index import backends
+from repro.index.backends import SearchBackend
 
 __all__ = [
     "InvertedIndex",
     "PositionalIndex",
     "Posting",
+    "SearchBackend",
+    "backends",
     "KeywordSearchEngine",
     "KeywordHit",
     "QueryEvaluation",

@@ -1,0 +1,117 @@
+"""Pluggable index backends (see :mod:`repro.index.backends.registry`).
+
+Importing this package registers the built-ins:
+
+- ``memory`` -- the in-RAM :class:`~repro.index.inverted.InvertedIndex`
+  with its original JSON codec (the default);
+- ``ondisk`` -- packed binary postings opened via ``mmap`` with lazy
+  per-term decode (:mod:`repro.index.backends.ondisk`).
+
+Third-party backends register a :class:`SearchBackendSpec` through
+:func:`register` (or :func:`temporary_registration`) and immediately
+surface in ``repro build/search --index-backend``, the workspace index
+artifact, and the serving substrate -- no core edits.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Optional
+
+from repro.index.backends import memory as _memory
+from repro.index.backends import ondisk as _ondisk
+from repro.index.backends.base import SearchBackend
+from repro.index.backends.registry import (
+    DEFAULT_BACKEND,
+    SearchBackendSpec,
+    backend_names,
+    get,
+    is_registered,
+    register,
+    registry_revision,
+    spec_for_format,
+    specs,
+    temporary_registration,
+    unregister,
+)
+
+register(_memory.SPEC)
+register(_ondisk.SPEC)
+
+#: Every codec writes ``{"format": "<tag>", ...}`` as the artifact's
+#: first key, so the owning backend is identified from the file head
+#: without parsing the (potentially huge) document.
+_FORMAT_HEAD_RE = re.compile(r'"format"\s*:\s*"([^"]+)"')
+_SNIFF_BYTES = 512
+
+
+def sniff_format(path) -> Optional[str]:
+    """The format tag at the head of ``path`` (None when unreadable)."""
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            head = handle.read(_SNIFF_BYTES)
+    except OSError:
+        return None
+    match = _FORMAT_HEAD_RE.search(head)
+    return match.group(1) if match else None
+
+
+def sniff_backend(path) -> Optional[str]:
+    """Name of the registered backend owning the artifact at ``path``."""
+    format_tag = sniff_format(path)
+    if format_tag is None:
+        return None
+    try:
+        return spec_for_format(format_tag).name
+    except ValueError:
+        return None
+
+
+def open_index(path, analyzer=None) -> SearchBackend:
+    """Open an index artifact with whichever backend's codec wrote it.
+
+    This is the workspace load path: the artifact file self-describes
+    its backend via the format tag, so a workspace built with
+    ``--index-backend ondisk`` opens lazily even when the reading
+    process configured a different default.
+    """
+    path = Path(path)
+    format_tag = sniff_format(path)
+    if format_tag is None:
+        raise ValueError(
+            f"{path}: cannot determine index format "
+            "(missing or unreadable format tag)"
+        )
+    return spec_for_format(format_tag).load(path, analyzer=analyzer)
+
+
+def save_index(index, path) -> None:
+    """Persist ``index`` through the codec of the backend that made it.
+
+    Objects built or loaded by a registered backend carry a
+    ``backend_name`` stamp; anything unstamped round-trips through the
+    default (memory) codec.
+    """
+    name = getattr(index, "backend_name", DEFAULT_BACKEND)
+    get(name).save(index, path)
+
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "SearchBackend",
+    "SearchBackendSpec",
+    "backend_names",
+    "get",
+    "is_registered",
+    "open_index",
+    "register",
+    "registry_revision",
+    "save_index",
+    "sniff_backend",
+    "sniff_format",
+    "spec_for_format",
+    "specs",
+    "temporary_registration",
+    "unregister",
+]

@@ -1,0 +1,122 @@
+"""The ``SearchBackend`` protocol: what every index backend must serve.
+
+The keyword search engine, the serving substrate, and the workspace
+codecs talk to this interface and never to a concrete index class.  A
+backend is any object that answers postings / document-frequency /
+term-frequency / forward-index questions about one immutable-ish corpus
+snapshot; *how* the postings are held (Python dataclasses in RAM, a
+packed binary file behind ``mmap``, a remote service...) is the
+backend's business.
+
+Contracts that keep rankings byte-identical across backends:
+
+- :meth:`postings` returns the postings of a term **in indexing order**.
+  Scoring sums float contributions in postings order, so two backends
+  that return the same postings in the same order produce bit-identical
+  scores.  The returned sequence must be *immutable from the caller's
+  point of view* -- backends are free to return a shared cached tuple,
+  and callers must never mutate it.
+- :meth:`vocabulary` returns a **stable snapshot**, never a live view of
+  internal state.  Callers may add or remove papers mid-iteration (on
+  mutable backends) without a ``RuntimeError``; backends must therefore
+  materialise the term list (e.g. a tuple) rather than hand out
+  ``dict.keys()``.
+- :attr:`revision` is a monotonic mutation counter.  Every observable
+  change to the backend's contents bumps it; derived caches (per-term
+  contribution caches, BM25 length tables) key on it.  Read-only
+  backends report the revision frozen into their artifact.
+
+Positional data (term positions, phrase queries) is an *optional
+capability*: backends without it simply do not grow the
+``positions``/``phrase_frequency``/``papers_containing_phrase`` methods,
+and the search engine degrades phrase handling accordingly (it already
+feature-detects via ``getattr``).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, List, Mapping, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.corpus.paper import Section
+    from repro.index.inverted import Posting
+    from repro.text.analyze import Analyzer
+
+
+class SearchBackend(abc.ABC):
+    """Abstract interface served by every registered index backend.
+
+    Concrete backends either subclass this (the built-ins do) or simply
+    implement the same surface -- the serving layers only ever
+    duck-type.  See the module docstring for the ordering, snapshot, and
+    revision contracts that keep rankings identical across backends.
+    """
+
+    #: The analyzer whose term pipeline produced the indexed terms;
+    #: queries must be analysed with the same one.
+    analyzer: "Analyzer"
+
+    # -- corpus-level facts --------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def n_papers(self) -> int:
+        """Number of indexed papers."""
+
+    @property
+    @abc.abstractmethod
+    def revision(self) -> int:
+        """Monotonic mutation counter (see module docstring)."""
+
+    @property
+    @abc.abstractmethod
+    def n_terms(self) -> int:
+        """Number of distinct indexed terms."""
+
+    # -- postings ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def postings(self, term: str) -> Sequence["Posting"]:
+        """Postings of ``term`` in indexing order (empty if unseen).
+
+        The result is an immutable snapshot the backend may share across
+        calls; callers must not mutate it.
+        """
+
+    @abc.abstractmethod
+    def document_frequency(self, term: str) -> int:
+        """Number of papers containing ``term`` in any section."""
+
+    @abc.abstractmethod
+    def papers_containing(self, term: str) -> List[str]:
+        """Distinct paper ids containing ``term``, in indexing order."""
+
+    # -- forward index -------------------------------------------------------------
+
+    @abc.abstractmethod
+    def term_frequency(
+        self, paper_id: str, term: str, section: Optional["Section"] = None
+    ) -> int:
+        """Frequency of ``term`` in ``paper_id`` (one section or summed)."""
+
+    @abc.abstractmethod
+    def paper_section_terms(
+        self, paper_id: str, section: "Section"
+    ) -> Mapping[str, int]:
+        """Term-count map of one paper section (empty if absent)."""
+
+    # -- vocabulary ----------------------------------------------------------------
+
+    @abc.abstractmethod
+    def vocabulary(self) -> Sequence[str]:
+        """All indexed terms, as a **stable snapshot** in indexing order.
+
+        Never a live view: iterating the result stays valid across
+        concurrent paper adds/removes on mutable backends (those mutate
+        the internal tables, not previously returned snapshots).
+        """
+
+    @abc.abstractmethod
+    def __contains__(self, term: str) -> bool:
+        """Whether ``term`` is indexed."""

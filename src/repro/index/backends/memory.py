@@ -1,0 +1,61 @@
+"""The ``memory`` backend: the paper-faithful in-memory inverted index.
+
+This is the original :class:`~repro.index.inverted.InvertedIndex`
+re-registered through the backend registry.  Its codec is the existing
+format-tagged JSON snapshot (``repro/inverted-index/v1``), so workspaces
+built before the registry existed keep loading unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.corpus.corpus import Corpus
+from repro.index.backends.base import SearchBackend
+from repro.index.backends.registry import SearchBackendSpec
+from repro.index.inverted import InvertedIndex
+from repro.text.analyze import Analyzer
+
+# The concrete class predates the protocol; registering it as a virtual
+# subclass (rather than inheriting) keeps repro.index.inverted free of
+# backend imports and thus import-cycle-proof.
+SearchBackend.register(InvertedIndex)
+
+#: Same tag :mod:`repro.core.io` has always written for the index
+#: artifact -- pre-registry workspaces remain valid.
+MEMORY_FORMAT = "repro/inverted-index/v1"
+
+
+def build_memory_index(
+    corpus: Corpus, analyzer: Optional[Analyzer] = None
+) -> InvertedIndex:
+    """Full analyse-and-index pass into an in-memory inverted index."""
+    return InvertedIndex(analyzer=analyzer).index_corpus(corpus)
+
+
+def save_memory_index(index, path) -> None:
+    """Persist any backend exposing ``to_payload`` as tagged JSON."""
+    from repro.core.io import write_tagged_json  # lazy: core.io imports repro.index
+
+    write_tagged_json(index.to_payload(), path, MEMORY_FORMAT)
+
+
+def load_memory_index(path, analyzer: Optional[Analyzer] = None) -> InvertedIndex:
+    """Parse the JSON snapshot back into a fully materialised index."""
+    from repro.core.io import read_tagged_json  # lazy: core.io imports repro.index
+
+    payload = read_tagged_json(path, MEMORY_FORMAT)
+    return InvertedIndex.from_payload(payload, analyzer=analyzer)
+
+
+SPEC = SearchBackendSpec(
+    name="memory",
+    build=build_memory_index,
+    save=save_memory_index,
+    load=load_memory_index,
+    format_tag=MEMORY_FORMAT,
+    description=(
+        "In-RAM section-aware inverted index (Posting dataclasses); "
+        "fastest to query, cold open parses the full JSON snapshot."
+    ),
+)

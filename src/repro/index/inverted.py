@@ -8,8 +8,9 @@ context search engine reuses for its text-matching component.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.corpus.corpus import Corpus
 from repro.corpus.paper import Paper, Section, TEXT_SECTIONS
@@ -33,6 +34,11 @@ class InvertedIndex:
     frequencies and paper lengths needed for TF-IDF scoring.
     """
 
+    #: Registered index-backend whose codec persists this class (see
+    #: :mod:`repro.index.backends`); instances built for another backend
+    #: get re-stamped by that backend's ``build``.
+    backend_name = "memory"
+
     def __init__(self, analyzer: Optional[Analyzer] = None) -> None:
         self.analyzer = analyzer if analyzer is not None else default_analyzer()
         self._postings: Dict[str, List[Posting]] = {}
@@ -40,6 +46,15 @@ class InvertedIndex:
         self._paper_terms: Dict[str, Dict[Section, Dict[str, int]]] = {}
         self._n_papers = 0
         self._revision = 0
+        # Read-path snapshots handed out by postings()/vocabulary();
+        # dropped wholesale on every mutation.  Sharing one immutable
+        # tuple per term keeps the query hot path allocation-free.
+        self._postings_views: Dict[str, Tuple[Posting, ...]] = {}
+        self._vocabulary_view: Optional[Tuple[str, ...]] = None
+
+    def _invalidate_views(self) -> None:
+        self._postings_views.clear()
+        self._vocabulary_view = None
 
     # -- construction -------------------------------------------------------------
 
@@ -73,6 +88,7 @@ class InvertedIndex:
         self._paper_terms[paper.paper_id] = per_section
         self._n_papers += 1
         self._revision += 1
+        self._invalidate_views()
 
     def remove_paper(self, paper_id: str) -> None:
         """Remove one paper from the index (ValueError if not indexed).
@@ -102,6 +118,7 @@ class InvertedIndex:
                 self._document_frequency.pop(term, None)
         self._n_papers -= 1
         self._revision += 1
+        self._invalidate_views()
 
     # -- access --------------------------------------------------------------------
 
@@ -123,9 +140,22 @@ class InvertedIndex:
     def n_terms(self) -> int:
         return len(self._postings)
 
-    def postings(self, term: str) -> List[Posting]:
-        """All postings of ``term`` (empty list if unseen)."""
-        return list(self._postings.get(term, ()))
+    def postings(self, term: str) -> Sequence[Posting]:
+        """All postings of ``term``, in indexing order (empty if unseen).
+
+        Returns a cached immutable tuple shared across calls -- the
+        query hot path touches every query term once per search, and
+        copying the hottest posting lists per call dominated its
+        allocations.  The snapshot is invalidated by paper add/remove.
+        """
+        view = self._postings_views.get(term)
+        if view is None:
+            entries = self._postings.get(term)
+            if entries is None:
+                return ()
+            view = tuple(entries)
+            self._postings_views[term] = view
+        return view
 
     def document_frequency(self, term: str) -> int:
         """Number of papers containing ``term`` in any section."""
@@ -155,12 +185,36 @@ class InvertedIndex:
         """Term-count map of one paper section (empty if absent)."""
         return dict(self._paper_terms.get(paper_id, {}).get(section, {}))
 
-    def vocabulary(self) -> Iterable[str]:
-        """All indexed terms."""
-        return self._postings.keys()
+    def vocabulary(self) -> Sequence[str]:
+        """All indexed terms, as a stable snapshot in indexing order.
+
+        Never the live ``dict.keys()`` view: callers may add or remove
+        papers while iterating the result without a ``RuntimeError``
+        (the :class:`~repro.index.backends.base.SearchBackend` contract).
+        """
+        view = self._vocabulary_view
+        if view is None:
+            view = self._vocabulary_view = tuple(self._postings)
+        return view
 
     def __contains__(self, term: str) -> bool:
         return term in self._postings
+
+    # -- observability -------------------------------------------------------------
+
+    def resident_postings_bytes(self) -> int:
+        """Heap bytes held by the materialised postings structures.
+
+        Bench/observability aid: the memory backend pays this for the
+        whole corpus up front, lazy backends only for their cached
+        working set.
+        """
+        total = 0
+        for entries in self._postings.values():
+            total += sys.getsizeof(entries)
+            for posting in entries:
+                total += sys.getsizeof(posting) + sys.getsizeof(posting.__dict__)
+        return total
 
     # -- (de)serialisation -----------------------------------------------------------
 

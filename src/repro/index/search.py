@@ -33,7 +33,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.corpus.corpus import Corpus
 from repro.corpus.paper import Section
-from repro.index.inverted import InvertedIndex
+from repro.index.backends.base import SearchBackend
 from repro.obs import get_registry
 
 _PHRASE_RE = re.compile(r'"([^"]*)"')
@@ -133,7 +133,7 @@ class QueryEvaluation:
 
 
 class KeywordSearchEngine:
-    """Ranked keyword search over an :class:`InvertedIndex`.
+    """Ranked keyword search over any :class:`SearchBackend`.
 
     Parameters
     ----------
@@ -148,7 +148,7 @@ class KeywordSearchEngine:
 
     def __init__(
         self,
-        index: InvertedIndex,
+        index: SearchBackend,
         section_weights: Optional[Mapping[Section, float]] = None,
         scoring: str = "tfidf",
         k1: float = 1.5,

@@ -28,7 +28,8 @@ from repro.core.patterns import AnalyzedPaperCache
 from repro.core.scores import PrestigeScores
 from repro.core.vectors import PaperVectorStore
 from repro.corpus.corpus import Corpus
-from repro.index.inverted import InvertedIndex
+from repro.index import backends as index_backends
+from repro.index.backends.base import SearchBackend
 from repro.index.search import KeywordSearchEngine
 from repro.obs import get_registry, span
 from repro.ontology.ontology import Ontology
@@ -49,12 +50,18 @@ class SubstrateStore:
         ontology: Ontology,
         training_papers: Mapping[str, Sequence[str]],
         text_similarity_threshold: float = 0.10,
+        index_backend: Optional[str] = None,
     ) -> None:
         self.corpus = corpus
         self.ontology = ontology
         self.training_papers = {k: list(v) for k, v in training_papers.items()}
         self.text_similarity_threshold = text_similarity_threshold
-        self._index: Optional[InvertedIndex] = None
+        self.index_backend = (
+            index_backend if index_backend is not None
+            else index_backends.DEFAULT_BACKEND
+        )
+        index_backends.get(self.index_backend)  # fail fast on unknown names
+        self._index: Optional[SearchBackend] = None
         self._vectors: Optional[PaperVectorStore] = None
         self._tokens: Optional[AnalyzedPaperCache] = None
         self._graph: Optional[CitationGraph] = None
@@ -87,11 +94,13 @@ class SubstrateStore:
     # -- lazily built substrates ----------------------------------------------------
 
     @property
-    def index(self) -> InvertedIndex:
+    def index(self) -> SearchBackend:
         if self._index is None:
             with self._build_lock:
                 if self._index is None:
-                    self._index = InvertedIndex().index_corpus(self.corpus)
+                    spec = index_backends.get(self.index_backend)
+                    with span("substrate.index.build", backend=spec.name):
+                        self._index = spec.build(self.corpus)
         return self._index
 
     @property
@@ -254,7 +263,7 @@ class SubstrateStore:
 
     # -- installation (workspace hydration / precomputed artefacts) -----------------
 
-    def install_index(self, index: Optional[InvertedIndex]) -> None:
+    def install_index(self, index: Optional[SearchBackend]) -> None:
         with self._build_lock:
             self._index = index
             self._keyword_engine = None  # derived from the index

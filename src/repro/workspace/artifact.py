@@ -81,6 +81,31 @@ def _build_index(pipeline):
     return pipeline.index
 
 
+def _save_index(index, path):
+    """Persist the index through its producing backend's codec.
+
+    Backend build/load functions stamp their objects with
+    ``backend_name`` (see :mod:`repro.index.backends`), so a pipeline
+    configured with ``index_backend='ondisk'`` packs binary postings
+    here while the default keeps writing the original JSON snapshot.
+    """
+    from repro.index import backends
+
+    backends.save_index(index, path)
+
+
+def _load_index(path, pipeline):
+    """Open the index with whichever backend's codec wrote the file.
+
+    Dispatch is by the artifact's format tag, not the pipeline's
+    configured default -- lazy formats (ondisk) therefore open lazily
+    (mmap + header parse, no postings decode) on every reader.
+    """
+    from repro.index import backends
+
+    return backends.open_index(path)
+
+
 def _install_index(pipeline, index):
     pipeline._index = index
 
@@ -130,10 +155,11 @@ _BASE_ARTIFACTS: Tuple[Artifact, ...] = (
         filename="index.json",
         schema_version=1,
         build=_build_index,
-        save=core_io.write_inverted_index,
-        load=lambda path, pipeline: core_io.read_inverted_index(path),
+        save=_save_index,
+        load=_load_index,
         install=_install_index,
         installed=lambda pipeline: pipeline._index is not None,
+        config_keys=("index_backend",),
         description="section-aware inverted index over the corpus",
     ),
     Artifact(

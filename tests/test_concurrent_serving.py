@@ -81,6 +81,55 @@ class TestSearchUnderRefresh:
         # The swapper actually raced the searchers.
         assert swaps > 0
 
+    def test_rankings_identical_while_index_backends_swap(self, tmp_path):
+        """Searches racing install_index() swaps between the memory index
+        and an ondisk (mmap) load of the same artifact must stay
+        byte-identical -- the backend split's concurrency guarantee."""
+        from repro.index import backends
+
+        pipeline = build_demo_pipeline(seed=7, n_papers=120, n_terms=30)
+        memory_index = pipeline.index
+        path = tmp_path / "index.json"
+        backends.get("ondisk").save(memory_index, path)
+        ondisk_index = backends.get("ondisk").load(path)
+        baseline = {
+            query: _rows(pipeline.search(query, limit=10)) for query in QUERIES
+        }
+
+        stop = threading.Event()
+        swaps = 0
+
+        def swapper():
+            nonlocal swaps
+            while not stop.is_set():
+                pipeline.substrates.install_index(ondisk_index)
+                pipeline.substrates.install_index(memory_index)
+                swaps += 2
+
+        def searcher(_worker: int):
+            mismatches = []
+            for _ in range(15):
+                results = pipeline.search_many(list(QUERIES), limit=10)
+                for query, hits in zip(QUERIES, results):
+                    if _rows(hits) != baseline[query]:
+                        mismatches.append(query)
+            return mismatches
+
+        swap_thread = threading.Thread(target=swapper, daemon=True)
+        swap_thread.start()
+        try:
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                all_mismatches = list(pool.map(searcher, range(4)))
+        finally:
+            stop.set()
+            swap_thread.join(timeout=10)
+        try:
+            assert all(not m for m in all_mismatches), all_mismatches
+            assert swaps > 0
+        finally:
+            pipeline.substrates.install_index(memory_index)
+            ondisk_index.close()
+
     def test_refresh_returns_fresh_view_atomically(self):
         pipeline = build_demo_pipeline(seed=3, n_papers=60, n_terms=20)
         first = pipeline.serving_view

@@ -115,3 +115,44 @@ class TestRankingParity:
                     use_cache=use_cache,
                 )
                 assert _hit_rows(hits) == expected["search"], (query, use_cache)
+
+
+class TestBackendParity:
+    """Every registered index backend must reproduce the golden rankings.
+
+    The index artifact is round-tripped through each backend's codec and
+    installed into the serving substrate; rankings for every golden
+    combo/query must stay byte-identical.  This is the acceptance
+    criterion of the backend split: storage layout must never be able to
+    change what a query returns.
+    """
+
+    def test_every_registered_backend_matches_golden(
+        self, golden, pipeline, tmp_path
+    ):
+        from repro.index import backends
+
+        source = pipeline.index
+        opened = []
+        mismatches = []
+        try:
+            for spec in backends.specs():
+                path = tmp_path / f"index_{spec.name}.json"
+                spec.save(source, path)
+                loaded = spec.load(path)
+                opened.append(loaded)
+                pipeline.substrates.install_index(loaded)
+                for combo in _combo_cases(golden):
+                    function, paper_set, strategy = combo.split("/")
+                    engine = pipeline.search_engine(function, paper_set, strategy)
+                    for query, expected in golden["combos"][combo].items():
+                        hits = engine.search(query, limit=10)
+                        if _hit_rows(hits) != expected["search"]:
+                            mismatches.append((spec.name, combo, query))
+        finally:
+            pipeline.substrates.install_index(source)
+            for loaded in opened:
+                close = getattr(loaded, "close", None)
+                if callable(close):
+                    close()
+        assert mismatches == []

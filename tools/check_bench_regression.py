@@ -14,7 +14,11 @@ Gates:
 - ``BENCH_obs_overhead.json`` -- the telemetry-disabled fast path must
   stay **at or below** 2% overhead versus a stripped baseline, and the
   sampled-tracing path at or below 10%
-  (``benchmarks/test_perf_obs_overhead.py``).
+  (``benchmarks/test_perf_obs_overhead.py``);
+- ``BENCH_index_backend.json`` -- the ondisk backend's cold open
+  (mmap + header parse) must stay **at or above** 10x faster than the
+  memory backend's full-parse load
+  (``benchmarks/test_perf_index_backend.py``).
 
 When a result file does not exist (that bench has not been run on this
 checkout) its gate is skipped with exit 0 -- the gate guards recorded
@@ -108,6 +112,16 @@ GATES = (
         label="sampled-tracing overhead",
         unit="%",
         hint="see benchmarks/test_perf_obs_overhead.py",
+    ),
+    Gate(
+        payload="BENCH_index_backend.json",
+        metric="cold_open_speedup",
+        floor_key="floor",
+        default_floor=10.0,
+        direction="min",
+        label="ondisk cold-open speedup",
+        unit="x",
+        hint="see benchmarks/test_perf_index_backend.py",
     ),
 )
 

@@ -17,11 +17,15 @@ echo "== lint: score-function registry =="
 python tools/check_score_registry.py
 
 echo
+echo "== lint: index-backend registry =="
+python tools/check_index_backends.py
+
+echo
 echo "== lint: workspace artifact registry =="
 python tools/check_workspace_manifest.py
 
 echo
-echo "== bench: regression gates (serving speedup, obs overhead) =="
+echo "== bench: regression gates (serving speedup, obs overhead, index backend) =="
 python tools/check_bench_regression.py
 
 echo
