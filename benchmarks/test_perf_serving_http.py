@@ -1,0 +1,101 @@
+"""HTTP serving benchmark: latency percentiles + max sustainable QPS.
+
+Drives a real :class:`~repro.serving.service.SearchService` (ephemeral
+port, same process) with the closed-loop generator from
+``tools/loadgen.py``: N client threads issue ``GET /search`` as fast as
+the service answers, a warmup phase fills caches and reaches steady
+state, then a measurement window records every latency.  Closed-loop
+throughput *is* the max sustainable rate -- offered load self-adjusts to
+completion rate instead of collapsing the queue.
+
+Recorded: p50/p95/p99 latency (ms) and sustained QPS, plus shed (429)
+and transport-error counts, which must both be zero -- the admission
+bounds are sized above the client count, so a shed here would mean
+admission leaks slots.
+
+Emits ``benchmarks/results/BENCH_serving_http.json`` (read by
+``tools/check_bench_regression.py``; the QPS floor travels in the
+payload) in addition to the per-test JSON the conftest hook drops.
+
+Scale knobs: ``REPRO_BENCH_HTTP_CLIENTS`` (default 8),
+``REPRO_BENCH_HTTP_SECONDS`` (default 3), ``REPRO_BENCH_HTTP_WARMUP``
+(default 1).
+"""
+
+import importlib.util
+import json
+import os
+import sys
+from pathlib import Path
+
+from conftest import write_result
+
+from repro.serving import SearchService
+
+#: Conservative: loopback + result cache sustain orders of magnitude
+#: more; the bar only has to catch a serving-path collapse.
+MIN_SUSTAINED_QPS = 20.0
+BENCH_QUERIES = 24
+
+
+def _load_loadgen():
+    """Import tools/loadgen.py (tools/ is deliberately not a package)."""
+    path = Path(__file__).resolve().parent.parent / "tools" / "loadgen.py"
+    spec = importlib.util.spec_from_file_location("loadgen", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["loadgen"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_perf_serving_http(pipeline, queries, results_dir):
+    loadgen = _load_loadgen()
+    clients = int(os.environ.get("REPRO_BENCH_HTTP_CLIENTS", 8))
+    duration_s = float(os.environ.get("REPRO_BENCH_HTTP_SECONDS", 3.0))
+    warmup_s = float(os.environ.get("REPRO_BENCH_HTTP_WARMUP", 1.0))
+    workload = queries[:BENCH_QUERIES]
+
+    # Build the lazy substrates (graph, scores, engines) and fill the
+    # result cache before any HTTP traffic: the bench measures the
+    # serving path at steady state, not the one-off first-query build.
+    for query in workload:
+        pipeline.search(
+            query, function="text", paper_set_name="text", limit=10,
+            threshold=0.0, selection_strategy="probe",
+        )
+
+    service = SearchService(
+        pipeline, port=0, max_in_flight=max(clients, 8), queue_depth=2 * clients
+    )
+    service.start()
+    try:
+        result = loadgen.run_load(
+            f"http://{service.host}:{service.port}",
+            workload,
+            clients=clients,
+            duration_s=duration_s,
+            warmup_s=warmup_s,
+        )
+    finally:
+        service.stop()
+
+    table = "\n".join([
+        f"papers               {len(pipeline.corpus)}",
+        f"distinct queries     {len(workload)}",
+        result.format_table(),
+        f"floor                {MIN_SUSTAINED_QPS:.0f} qps sustained",
+    ])
+    write_result(results_dir, "perf_serving_http", table)
+
+    payload = result.to_dict()
+    payload["papers"] = len(pipeline.corpus)
+    payload["distinct_queries"] = len(workload)
+    payload["floor"] = MIN_SUSTAINED_QPS
+    (results_dir / "BENCH_serving_http.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    assert result.errors == 0, f"transport/5xx errors under load: {result.errors}"
+    assert result.shed == 0, f"admission shed {result.shed} requests"
+    assert result.ok > 0 and result.latencies_s
+    assert result.qps >= MIN_SUSTAINED_QPS

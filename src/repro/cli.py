@@ -11,6 +11,9 @@ Subcommands mirror a deployment's life cycle:
 - ``repro workspace status`` -- per-artifact freshness of a workspace;
 - ``repro search``    -- run a context-based search against a data dir
   (hydrates from ``<data>/workspace`` when one is built);
+- ``repro serve``     -- run the HTTP search service (``/search``,
+  ``/search_grouped``, ``/explain``, ``POST /admin/reload`` with
+  admission control, plus the observability routes below);
 - ``repro evaluate``  -- run the accuracy/separability evaluation and
   print a summary;
 - ``repro obs report`` -- render saved trace/metrics dumps as ASCII;
@@ -477,6 +480,64 @@ def _cmd_obs_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP search service (search + observability endpoints)."""
+    import time
+
+    from repro.serving.service import SearchService
+
+    configure_telemetry(
+        enabled=True,
+        sample_rate=args.sample_rate,
+        slow_ms=args.slow_ms,
+        slos=_parse_slo_args(args.slo) or None,
+    )
+    pipeline = _load_pipeline(
+        args.data,
+        use_workspace=not args.no_workspace,
+        result_cache_size=0 if args.no_result_cache else 256,
+        index_backend=args.index_backend,
+    )
+    if args.warmup:
+        queries = _derive_queries(pipeline, args.warmup)
+        if queries:
+            for query in queries:
+                pipeline.search(query)
+            pipeline.search_many(queries, max_workers=args.workers)
+            print(f"warmed up with {len(queries)} queries")
+    try:
+        service = SearchService(
+            pipeline,
+            host=args.host,
+            port=args.port,
+            max_in_flight=args.max_in_flight,
+            queue_depth=args.queue_depth,
+            retry_after_s=args.retry_after_s,
+        ).start()
+    except OSError as error:
+        print(f"error: cannot bind {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 1
+    # service.port is the *bound* port -- meaningful with --port 0 too.
+    print(
+        f"serving /search /search_grouped /explain /admin/reload "
+        f"/metrics /health /slo /slowlog on "
+        f"http://{service.host}:{service.port} (ctrl-c to stop)"
+    )
+    try:
+        if args.for_seconds is not None:
+            time.sleep(args.for_seconds)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+        reset_telemetry()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -606,6 +667,69 @@ def build_parser() -> argparse.ArgumentParser:
         "evaluates fresh)",
     )
     search.set_defaults(func=_cmd_search)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="HTTP search service: /search /search_grouped /explain "
+        "/admin/reload + the obs routes",
+        parents=[data_common],
+    )
+    serve.add_argument("--data", default="data")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8977, help="0 binds an ephemeral port"
+    )
+    serve.add_argument(
+        "--max-in-flight", type=int, default=8, metavar="N",
+        help="search requests executing concurrently (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=16, metavar="N",
+        help="admitted requests allowed to wait for an in-flight slot; "
+        "anything beyond is shed with 429 (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--retry-after-s", type=float, default=1.0, metavar="S",
+        help="Retry-After hint sent with 429 responses (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--index-backend",
+        choices=index_backends.backend_names(),
+        default=index_backends.DEFAULT_BACKEND,
+        help="registered index backend used to build/open the inverted "
+        "index (see repro.index.backends)",
+    )
+    serve.add_argument(
+        "--no-result-cache",
+        action="store_true",
+        help="disable the serving-side LRU result cache",
+    )
+    serve.add_argument(
+        "--sample-rate", type=float, default=0.05, metavar="FRACTION",
+        help="head-sampling rate for query telemetry (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--slow-ms", type=float, default=100.0, metavar="MS",
+        help="slow-query threshold (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--slo", action="append", metavar="SPEC",
+        help="declare an SLO, e.g. 'search-p95:latency:250ms:95%%:300s' "
+        "(repeatable; default objectives otherwise)",
+    )
+    serve.add_argument(
+        "--warmup", type=int, default=0, metavar="N",
+        help="run N derived queries through the pipeline before serving",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4,
+        help="thread-pool size for the warmup batch",
+    )
+    serve.add_argument(
+        "--for-seconds", type=float, default=None, metavar="S",
+        help="serve for S seconds then exit (default: run until ctrl-c)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     evaluate = subparsers.add_parser(
         "evaluate", help="run the evaluation", parents=[obs_common, data_common]

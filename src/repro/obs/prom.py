@@ -57,6 +57,11 @@ def render_prometheus(snapshot: Dict[str, Dict]) -> str:
         lines.append(f"# TYPE {flat}_total counter")
         lines.append(f"{flat}_total {_format_value(value)}")
     for name, value in snapshot.get("gauges", {}).items():
+        if value is None:
+            # A gauge with nothing observed yet (e.g. a result-cache
+            # hit rate before the first lookup) has no meaningful
+            # sample; exporting NaN trips strict scrapers, so skip it.
+            continue
         flat = prom_name(name)
         lines.append(f"# HELP {flat} gauge {name}")
         lines.append(f"# TYPE {flat} gauge")

@@ -68,6 +68,7 @@ __all__ = [
 _LATENCY_METRIC = {
     "search": "search.run.latency",
     "search_many": "search.batch.latency",
+    "search_grouped": "search.grouped.latency",
     "explain": "search.explain.latency",
 }
 _FALLBACK_LATENCY_METRIC = "search.request.latency"

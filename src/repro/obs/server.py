@@ -1,7 +1,9 @@
 """Stdlib HTTP exposition endpoint: ``/metrics``, ``/health``, ``/slo``.
 
-The observability substrate the ROADMAP's search service will mount --
-``repro obs serve --port 9188`` runs it standalone today.  Routes:
+The observability substrate the search service mounts --
+``repro obs serve --port 9188`` runs it standalone today, and
+:class:`repro.serving.service.SearchService` subclasses it to add the
+query endpoints on the same listener.  Routes:
 
 - ``GET /metrics``  -- Prometheus text exposition of the process-wide
   registry (:mod:`repro.obs.prom`);
@@ -16,6 +18,11 @@ cannot block a health probe.  *Collectors* -- zero-arg callables such as
 ``ServingView.export_gauges`` -- run at the top of every scrape, which is
 how point-in-time gauges (view age, cache hit rate) stay current without
 a background refresher thread.
+
+Routing lives in :meth:`ExpositionServer.dispatch`, which maps
+``(method, path, params)`` to a :class:`Response`; subclasses add
+endpoints by overriding it and falling back to ``super().dispatch``
+for everything they don't handle.
 """
 
 from __future__ import annotations
@@ -23,17 +30,41 @@ from __future__ import annotations
 import json
 import threading
 import time
+import urllib.parse
+from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable, Dict, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.obs.logs import get_logger
 from repro.obs.metrics import get_registry
 from repro.obs.prom import render_prometheus
 from repro.obs.request import get_telemetry
 
-__all__ = ["ExpositionServer"]
+__all__ = ["ExpositionServer", "Response", "json_response"]
 
 _log = get_logger("obs.server")
+
+
+@dataclass(frozen=True)
+class Response:
+    """One HTTP response as the dispatch layer produces it."""
+
+    status: int
+    content_type: str
+    body: str
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+def json_response(
+    payload: Dict[str, Any], status: int = 200, **headers: str
+) -> Response:
+    """A sorted-key JSON response (the service's canonical encoding)."""
+    return Response(
+        status=status,
+        content_type="application/json",
+        body=json.dumps(payload, sort_keys=True) + "\n",
+        headers={key.replace("_", "-"): value for key, value in headers.items()},
+    )
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -41,42 +72,36 @@ class _Handler(BaseHTTPRequestHandler):
     #: Set by ExpositionServer on the server instance; read via self.server.
     exposition: "ExpositionServer"
 
-    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+    def _handle(self, method: str) -> None:
         exposition = self.server.exposition  # type: ignore[attr-defined]
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        parsed = urllib.parse.urlsplit(self.path)
+        path = parsed.path.rstrip("/") or "/"
+        params = urllib.parse.parse_qs(parsed.query)
         try:
-            if path == "/metrics":
-                body = exposition.render_metrics()
-                content_type = "text/plain; version=0.0.4; charset=utf-8"
-            elif path == "/health":
-                body = exposition.render_health()
-                content_type = "application/json"
-            elif path == "/slo":
-                body = exposition.render_slo()
-                content_type = "application/json"
-            elif path == "/slowlog":
-                body = exposition.render_slowlog()
-                content_type = "application/json"
-            else:
-                self._respond(
-                    404, "application/json",
-                    json.dumps({"error": f"no route {path!r}"}) + "\n",
+            response = exposition.dispatch(method, path, params)
+            if response is None:
+                response = json_response(
+                    {"error": f"no route {method} {path!r}"}, status=404
                 )
-                return
         except Exception as error:  # surface handler bugs to the scraper
-            self._respond(
-                500, "application/json",
-                json.dumps({"error": f"{type(error).__name__}: {error}"})
-                + "\n",
+            response = json_response(
+                {"error": f"{type(error).__name__}: {error}"}, status=500
             )
-            return
-        self._respond(200, content_type, body)
+        self._respond(response)
 
-    def _respond(self, status: int, content_type: str, body: str) -> None:
-        payload = body.encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._handle("POST")
+
+    def _respond(self, response: Response) -> None:
+        payload = response.body.encode("utf-8")
+        self.send_response(response.status)
+        self.send_header("Content-Type", response.content_type)
         self.send_header("Content-Length", str(len(payload)))
+        for name, value in response.headers.items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(payload)
 
@@ -87,10 +112,15 @@ class _Handler(BaseHTTPRequestHandler):
 class ExpositionServer:
     """Owns the HTTP server plus the scrape-time gauge collectors.
 
-    ``port=0`` binds an ephemeral port (tests); read :attr:`port` after
-    :meth:`start` for the bound value.  ``collectors`` run (exceptions
-    swallowed per collector) before every ``/metrics`` scrape and
-    ``/health`` probe so exported gauges reflect scrape time.
+    ``port=0`` binds an ephemeral port (tests); the socket is bound in
+    the constructor, so :attr:`port` reflects the *actual* bound port
+    from construction on -- never the ``0`` that was asked for.
+    ``allow_reuse_address`` is set before the bind, so a stop/start
+    cycle on the same port cannot intermittently fail with
+    ``EADDRINUSE`` while the old socket lingers in ``TIME_WAIT``.
+    ``collectors`` run (exceptions swallowed per collector) before every
+    ``/metrics`` scrape and ``/health`` probe so exported gauges reflect
+    scrape time.
     """
 
     def __init__(
@@ -103,9 +133,21 @@ class ExpositionServer:
         self.collectors = list(collectors)
         self.health_info = health_info
         self.started_at = time.monotonic()
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        # Bind in two steps so socket options are set *before* bind():
+        # with bind_and_activate=True the option would land too late to
+        # matter for the rebind race.
+        self._httpd = ThreadingHTTPServer(
+            (host, port), _Handler, bind_and_activate=False
+        )
+        self._httpd.allow_reuse_address = True
         self._httpd.daemon_threads = True
         self._httpd.exposition = self  # type: ignore[attr-defined]
+        try:
+            self._httpd.server_bind()
+            self._httpd.server_activate()
+        except OSError:
+            self._httpd.server_close()
+            raise
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -114,7 +156,47 @@ class ExpositionServer:
 
     @property
     def port(self) -> int:
+        """The actually-bound port (resolved even when asked for 0)."""
         return self._httpd.server_address[1]
+
+    # -- routing ---------------------------------------------------------------------
+
+    def dispatch(
+        self, method: str, path: str, params: Dict[str, List[str]]
+    ) -> Optional[Response]:
+        """Map one request to a :class:`Response`; None means 404.
+
+        Subclasses add routes by overriding this and delegating unknown
+        paths to ``super().dispatch`` -- that is how the search service
+        serves ``/search`` and ``/metrics`` from one listener.
+        """
+        if method != "GET":
+            return None
+        if path == "/metrics":
+            return Response(
+                status=200,
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+                body=self.render_metrics(),
+            )
+        if path == "/health":
+            return Response(
+                status=200,
+                content_type="application/json",
+                body=self.render_health(),
+            )
+        if path == "/slo":
+            return Response(
+                status=200,
+                content_type="application/json",
+                body=self.render_slo(),
+            )
+        if path == "/slowlog":
+            return Response(
+                status=200,
+                content_type="application/json",
+                body=self.render_slowlog(),
+            )
+        return None
 
     # -- rendering (also used directly by tests) -------------------------------------
 
@@ -176,7 +258,15 @@ class ExpositionServer:
         return self
 
     def stop(self) -> None:
-        self._httpd.shutdown()
+        """Stop serving and release the port (safe before ``start`` too).
+
+        ``shutdown()`` blocks until ``serve_forever`` acknowledges, so it
+        must only run when the serve thread exists -- the socket is bound
+        at construction, and a constructed-but-never-started server still
+        needs ``stop()`` to release it.
+        """
+        if self._thread is not None:
+            self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5.0)

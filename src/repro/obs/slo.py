@@ -171,11 +171,19 @@ def parse_slo(spec: str) -> SLO:
     target = _parse_target(rest[0], spec)
     window_s = _parse_window(rest[1], spec) if len(rest) > 1 else 300.0
     if len(rest) > 2:
-        raise ValueError(f"bad SLO spec {spec!r}: trailing tokens {rest[2:]}")
-    return SLO(
-        name=name, kind=kind, target=target,
-        threshold_s=threshold_s, window_s=window_s,
-    )
+        raise ValueError(
+            f"bad SLO spec {spec!r}: trailing tokens {rest[2:]}; expected "
+            "'<name>:<kind>[:<threshold>]:<target>%[:<window>s]'"
+        )
+    try:
+        return SLO(
+            name=name, kind=kind, target=target,
+            threshold_s=threshold_s, window_s=window_s,
+        )
+    except ValueError as error:
+        # Constructor invariants (unknown kind, target outside (0, 1],
+        # non-positive window) re-raised with the offending spec attached.
+        raise ValueError(f"bad SLO spec {spec!r}: {error}") from None
 
 
 @dataclass(frozen=True)

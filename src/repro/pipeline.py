@@ -458,13 +458,18 @@ class Pipeline:
         threshold: float = 0.0,
         selection_strategy: str = "probe",
         use_cache: bool = True,
+        contexts: Optional[Sequence[str]] = None,
     ) -> List[SearchHit]:
         """One-call context-based search with sensible defaults.
 
         Results are served from a bounded LRU cache when an identical
         request (same query, function, paper set, strategy, limit,
-        threshold) was answered since the last artifact change; pass
-        ``use_cache=False`` to force a fresh evaluation.
+        threshold, explicit contexts) was answered since the last
+        artifact change; pass ``use_cache=False`` to force a fresh
+        evaluation.  ``contexts`` overrides automatic context selection
+        (the HTTP service's ``context`` parameter); it participates in
+        the cache key, so a restricted search never shares an entry
+        with an automatically-selected one.
 
         Runs inside a request-scoped telemetry context (query id, root
         span, sampling, SLO event) -- see :mod:`repro.obs.request`.
@@ -472,7 +477,11 @@ class Pipeline:
         view = self._view()
         cache = view.result_cache
         caching = use_cache and cache.enabled
-        key = (query, function, paper_set_name, selection_strategy, limit, threshold)
+        contexts = tuple(contexts) if contexts is not None else None
+        key = self._cache_key(
+            query, function, paper_set_name, selection_strategy, limit,
+            threshold, contexts,
+        )
         with get_telemetry().request(
             "search", query=query, function=function, paper_set=paper_set_name
         ) as request, span(
@@ -488,12 +497,36 @@ class Pipeline:
                     trace.set(cache="hit", hits=len(cached))
                     return cached
             engine = view.engine(function, paper_set_name, selection_strategy)
-            hits = engine.search(query, threshold=threshold, limit=limit)
+            hits = engine.search(
+                query, threshold=threshold, limit=limit, contexts=contexts
+            )
             if caching:
                 trace.set(cache="miss")
                 cache.put(key, hits)
             request.set(hits=len(hits))
             return hits
+
+    @staticmethod
+    def _cache_key(
+        query: str,
+        function: str,
+        paper_set_name: str,
+        selection_strategy: str,
+        limit: Optional[int],
+        threshold: float,
+        contexts: Optional[tuple] = None,
+    ) -> tuple:
+        """The full query identity every result-cache entry is keyed on.
+
+        One constructor for both :meth:`search` and :meth:`search_many`,
+        so a batch miss populates exactly the entry a later single-query
+        call will look up (``contexts`` is part of the identity; batch
+        search never restricts contexts, hence ``None``).
+        """
+        return (
+            query, function, paper_set_name, selection_strategy, limit,
+            threshold, contexts,
+        )
 
     def search_many(
         self,
@@ -534,7 +567,7 @@ class Pipeline:
             results: List[Optional[List[SearchHit]]] = [None] * len(queries)
             misses: List[int] = []
             for position, query in enumerate(queries):
-                key = (
+                key = self._cache_key(
                     query, function, paper_set_name, selection_strategy,
                     limit, threshold,
                 )
@@ -559,12 +592,51 @@ class Pipeline:
                 for position, hits in zip(misses, fresh):
                     results[position] = hits
                     if caching:
-                        key = (
+                        key = self._cache_key(
                             queries[position], function, paper_set_name,
                             selection_strategy, limit, threshold,
                         )
                         cache.put(key, hits)
             return [hits if hits is not None else [] for hits in results]
+
+    def search_grouped(
+        self,
+        query: str,
+        function: str = "text",
+        paper_set_name: str = "text",
+        max_contexts: int = 5,
+        threshold: float = 0.0,
+        per_context_limit: Optional[int] = 10,
+        selection_strategy: str = "probe",
+    ):
+        """Search with results *grouped by context* (unmerged).
+
+        Pipeline-level counterpart of
+        :meth:`~repro.core.search.ContextSearchEngine.search_grouped`,
+        resolved against the current serving view's memoised engine and
+        wrapped in the same request-scoped telemetry as :meth:`search`
+        (kind ``search_grouped``; grouped results are not result-cached
+        -- the cache holds merged rankings only).
+        """
+        view = self._view()
+        with get_telemetry().request(
+            "search_grouped", query=query, function=function,
+            paper_set=paper_set_name,
+        ) as request, span(
+            "pipeline.search_grouped",
+            query=query,
+            function=function,
+            paper_set=paper_set_name,
+        ):
+            engine = view.engine(function, paper_set_name, selection_strategy)
+            groups = engine.search_grouped(
+                query,
+                max_contexts=max_contexts,
+                threshold=threshold,
+                per_context_limit=per_context_limit,
+            )
+            request.set(groups=len(groups))
+            return groups
 
     def explain(
         self,

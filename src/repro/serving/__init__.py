@@ -4,10 +4,23 @@
 layer (index, vectors, graph, paper sets, scores, revision counter);
 :class:`~repro.serving.view.ServingView` is the immutable-per-refresh
 serve layer (memoised engines + LRU result cache) the pipeline swaps
-atomically.
+atomically; :class:`~repro.serving.service.SearchService` puts the view
+behind HTTP search endpoints with admission control (``repro serve``).
 """
 
+from repro.serving.service import (
+    AdmissionController,
+    AdmissionRejected,
+    SearchService,
+)
 from repro.serving.substrate import SubstrateStore
 from repro.serving.view import SearchResultCache, ServingView
 
-__all__ = ["SubstrateStore", "SearchResultCache", "ServingView"]
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "SearchService",
+    "SubstrateStore",
+    "SearchResultCache",
+    "ServingView",
+]

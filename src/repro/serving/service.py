@@ -1,0 +1,455 @@
+"""The HTTP search service: ranking-as-a-service over a ServingView.
+
+:class:`SearchService` mounts the query endpoints on the same listener
+as the observability routes it inherits from
+:class:`~repro.obs.server.ExpositionServer` (``/metrics``, ``/health``,
+``/slo``, ``/slowlog``), so one ``repro serve`` process is scrapeable
+and searchable at once:
+
+- ``GET /search``          -- merged context-based rankings
+  (``q``, ``score_function``, ``paper_set``, ``top_k``, ``threshold``,
+  ``selection_strategy``, repeatable ``context``);
+- ``GET /search_grouped``  -- rankings grouped per selected context
+  (``q``, ``score_function``, ``paper_set``, ``top_k``,
+  ``max_contexts``, ``threshold``);
+- ``GET /explain``         -- relevancy decomposition for one
+  (``q``, ``paper_id``) pair;
+- ``POST /admin/reload``   -- zero-downtime serving-view swap via
+  :meth:`~repro.pipeline.Pipeline.refresh`; searches racing the swap
+  keep serving from the snapshot they grabbed.
+
+Every search endpoint answers through the *pipeline* (result cache,
+request telemetry, SLO events included), so an HTTP ranking is
+byte-identical to the same :meth:`Pipeline.search` call in process --
+the property ``tests/test_serving_service.py`` pins.
+
+**Admission control.**  ``ThreadingHTTPServer`` spawns one thread per
+connection; unbounded, a traffic spike turns into unbounded threads all
+contending for the GIL and every request slowing down together.  The
+:class:`AdmissionController` bounds that: at most ``max_in_flight``
+requests execute concurrently, at most ``queue_depth`` more wait their
+turn, and everything beyond is shed immediately with ``429`` and a
+``Retry-After`` header -- degraded throughput never becomes degraded
+latency for the requests that are accepted.  Observability routes are
+exempt so a saturated service can still be scraped and health-checked.
+
+Metrics (catalogued in ``docs/observability.md``): per-endpoint latency
+histograms ``serving.http.<endpoint>.latency``, counters
+``serving.http.{requests,accepted,shed,bad_request}``, gauge
+``serving.http.in_flight``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro import scoring
+from repro.core.search import (
+    ContextResultGroup,
+    RankingExplanation,
+    SearchHit,
+    SELECTION_STRATEGIES,
+)
+from repro.obs import get_registry
+from repro.obs.server import ExpositionServer, Response, json_response
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "BadRequest",
+    "SearchService",
+    "explanation_to_dict",
+    "group_to_dict",
+    "hit_to_dict",
+]
+
+
+class AdmissionRejected(Exception):
+    """Raised inside the service when admission sheds a request."""
+
+    def __init__(self, retry_after_s: float) -> None:
+        super().__init__(
+            f"server saturated; retry after {retry_after_s:g}s"
+        )
+        self.retry_after_s = retry_after_s
+
+
+class BadRequest(Exception):
+    """Raised by parameter parsing; becomes a 400 JSON error."""
+
+
+class AdmissionController:
+    """Bounded concurrency: ``max_in_flight`` running + ``queue_depth`` waiting.
+
+    Two semaphores implement the policy without a dispatcher thread:
+    ``_slots`` (capacity ``max_in_flight + queue_depth``) is acquired
+    *non-blocking* -- failure means the request is shed before any work
+    happens; ``_running`` (capacity ``max_in_flight``) is then acquired
+    blocking, so the handler threads beyond the in-flight bound *are*
+    the queue, and FIFO-ish draining comes from semaphore wakeup order.
+    Sheds and accepts are counted (``serving.http.{shed,accepted}``),
+    the running count is exported as ``serving.http.in_flight``.
+    """
+
+    def __init__(
+        self,
+        max_in_flight: int = 8,
+        queue_depth: int = 16,
+        retry_after_s: float = 1.0,
+    ) -> None:
+        if max_in_flight < 1:
+            raise ValueError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
+        if queue_depth < 0:
+            raise ValueError(f"queue_depth must be >= 0, got {queue_depth}")
+        if retry_after_s <= 0:
+            raise ValueError(
+                f"retry_after_s must be positive, got {retry_after_s}"
+            )
+        self.max_in_flight = max_in_flight
+        self.queue_depth = queue_depth
+        self.retry_after_s = retry_after_s
+        self._slots = threading.Semaphore(max_in_flight + queue_depth)
+        self._running = threading.Semaphore(max_in_flight)
+        self._in_flight = 0
+        self._lock = threading.Lock()
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def _track(self, delta: int) -> None:
+        with self._lock:
+            self._in_flight += delta
+            value = self._in_flight
+        get_registry().gauge("serving.http.in_flight").set(value)
+
+    @contextmanager
+    def admit(self) -> Iterator[None]:
+        """Hold one admission slot; raises :class:`AdmissionRejected` when full."""
+        registry = get_registry()
+        if not self._slots.acquire(blocking=False):
+            registry.counter("serving.http.shed").inc()
+            raise AdmissionRejected(self.retry_after_s)
+        try:
+            with self._running:
+                registry.counter("serving.http.accepted").inc()
+                self._track(+1)
+                try:
+                    yield
+                finally:
+                    self._track(-1)
+        finally:
+            self._slots.release()
+
+
+# -- canonical JSON shapes (shared by the service and its parity tests) --------------
+
+
+def hit_to_dict(hit: SearchHit) -> Dict[str, Any]:
+    """One merged search result, byte-stable across service and pipeline."""
+    return {
+        "paper_id": hit.paper_id,
+        "context_id": hit.context_id,
+        "relevancy": hit.relevancy,
+        "prestige": hit.prestige,
+        "matching": hit.matching,
+    }
+
+
+def group_to_dict(group: ContextResultGroup) -> Dict[str, Any]:
+    return {
+        "context_id": group.context_id,
+        "selection_strength": group.selection_strength,
+        "hits": [hit_to_dict(hit) for hit in group.hits],
+    }
+
+
+def explanation_to_dict(explanation: RankingExplanation) -> Dict[str, Any]:
+    return {
+        "query": explanation.query,
+        "paper_id": explanation.paper_id,
+        "matching": explanation.matching,
+        "selected_context_ids": list(explanation.selected_context_ids),
+        "in_selected_contexts": [
+            {"context_id": cid, "prestige": prestige, "relevancy": relevancy}
+            for cid, prestige, relevancy in explanation.in_selected_contexts
+        ],
+        "best_relevancy": explanation.best_relevancy,
+        "retrievable": explanation.retrievable,
+    }
+
+
+# -- query-string parsing ------------------------------------------------------------
+
+
+def _one(
+    params: Dict[str, List[str]], name: str, default: Optional[str] = None
+) -> Optional[str]:
+    values = params.get(name)
+    if not values:
+        return default
+    if len(values) > 1:
+        raise BadRequest(f"parameter {name!r} given {len(values)} times")
+    return values[0]
+
+
+def _required(params: Dict[str, List[str]], name: str) -> str:
+    value = _one(params, name)
+    if value is None or not value.strip():
+        raise BadRequest(f"missing required parameter {name!r}")
+    return value
+
+
+def _choice(
+    params: Dict[str, List[str]],
+    name: str,
+    choices: Sequence[str],
+    default: str,
+) -> str:
+    value = _one(params, name, default)
+    if value not in choices:
+        raise BadRequest(
+            f"parameter {name!r} must be one of {tuple(choices)}, "
+            f"got {value!r}"
+        )
+    return value
+
+
+def _int(
+    params: Dict[str, List[str]], name: str, default: int, minimum: int = 1
+) -> int:
+    raw = _one(params, name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise BadRequest(
+            f"parameter {name!r} must be an integer, got {raw!r}"
+        ) from None
+    if value < minimum:
+        raise BadRequest(
+            f"parameter {name!r} must be >= {minimum}, got {value}"
+        )
+    return value
+
+
+def _float(
+    params: Dict[str, List[str]], name: str, default: float
+) -> float:
+    raw = _one(params, name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise BadRequest(
+            f"parameter {name!r} must be a number, got {raw!r}"
+        ) from None
+
+
+class SearchService(ExpositionServer):
+    """HTTP search endpoints + admission control over one Pipeline.
+
+    The observability routes of the base class stay mounted (and stay
+    *outside* admission control, so health probes and scrapes answer
+    even under shed-everything load).  Unless overridden, the gauge
+    collector exports the current serving view at every scrape and
+    ``/health`` reports the view revision/age and corpus size.
+    """
+
+    #: (method, path) -> (endpoint label, admission-controlled?).
+    ROUTES: Dict[Tuple[str, str], Tuple[str, bool]] = {
+        ("GET", "/search"): ("search", True),
+        ("GET", "/search_grouped"): ("search_grouped", True),
+        ("GET", "/explain"): ("explain", True),
+        ("POST", "/admin/reload"): ("reload", False),
+    }
+
+    def __init__(
+        self,
+        pipeline,
+        host: str = "127.0.0.1",
+        port: int = 8977,
+        max_in_flight: int = 8,
+        queue_depth: int = 16,
+        retry_after_s: float = 1.0,
+        collectors: Optional[Sequence[Callable[[], Any]]] = None,
+        health_info: Optional[Callable[[], Dict[str, Any]]] = None,
+    ) -> None:
+        self.pipeline = pipeline
+        self.admission = AdmissionController(
+            max_in_flight=max_in_flight,
+            queue_depth=queue_depth,
+            retry_after_s=retry_after_s,
+        )
+        if collectors is None:
+            collectors = [lambda: pipeline.serving_view.export_gauges()]
+        if health_info is None:
+            health_info = self._default_health_info
+        super().__init__(
+            host=host, port=port, collectors=collectors,
+            health_info=health_info,
+        )
+
+    def _default_health_info(self) -> Dict[str, Any]:
+        view = self.pipeline.serving_view
+        return {
+            "view_revision": view.revision,
+            "view_age_s": round(view.age_seconds, 3),
+            "papers": len(self.pipeline.corpus),
+            "in_flight": self.admission.in_flight,
+        }
+
+    # -- routing ---------------------------------------------------------------------
+
+    def dispatch(
+        self, method: str, path: str, params: Dict[str, List[str]]
+    ) -> Optional[Response]:
+        route = self.ROUTES.get((method, path))
+        if route is None:
+            return super().dispatch(method, path, params)
+        endpoint, admitted = route
+        registry = get_registry()
+        registry.counter("serving.http.requests").inc()
+        started = time.perf_counter()
+        try:
+            handler = getattr(self, f"_handle_{endpoint}")
+            if admitted:
+                with self.admission.admit():
+                    response = handler(params)
+            else:
+                response = handler(params)
+        except AdmissionRejected as rejected:
+            response = json_response(
+                {
+                    "error": str(rejected),
+                    "retry_after_s": rejected.retry_after_s,
+                },
+                status=429,
+                Retry_After=f"{max(int(-(-rejected.retry_after_s // 1)), 1)}",
+            )
+        except BadRequest as bad:
+            registry.counter("serving.http.bad_request").inc()
+            response = json_response({"error": str(bad)}, status=400)
+        finally:
+            registry.histogram(
+                f"serving.http.{endpoint}.latency"
+            ).observe(time.perf_counter() - started)
+        return response
+
+    # -- endpoint handlers -----------------------------------------------------------
+
+    def _handle_search(self, params: Dict[str, List[str]]) -> Response:
+        query = _required(params, "q")
+        function = _choice(
+            params, "score_function", scoring.function_names(), "text"
+        )
+        paper_set = _choice(
+            params, "paper_set", scoring.PAPER_SET_NAMES, "text"
+        )
+        strategy = _choice(
+            params, "selection_strategy", SELECTION_STRATEGIES, "probe"
+        )
+        top_k = _int(params, "top_k", default=10)
+        threshold = _float(params, "threshold", default=0.0)
+        contexts = params.get("context") or None
+        hits = self.pipeline.search(
+            query,
+            function=function,
+            paper_set_name=paper_set,
+            limit=top_k,
+            threshold=threshold,
+            selection_strategy=strategy,
+            contexts=contexts,
+        )
+        return json_response(
+            {
+                "query": query,
+                "score_function": function,
+                "paper_set": paper_set,
+                "selection_strategy": strategy,
+                "top_k": top_k,
+                "threshold": threshold,
+                "contexts": list(contexts) if contexts else None,
+                "count": len(hits),
+                "hits": [hit_to_dict(hit) for hit in hits],
+            }
+        )
+
+    def _handle_search_grouped(self, params: Dict[str, List[str]]) -> Response:
+        query = _required(params, "q")
+        function = _choice(
+            params, "score_function", scoring.function_names(), "text"
+        )
+        paper_set = _choice(
+            params, "paper_set", scoring.PAPER_SET_NAMES, "text"
+        )
+        strategy = _choice(
+            params, "selection_strategy", SELECTION_STRATEGIES, "probe"
+        )
+        top_k = _int(params, "top_k", default=10)
+        max_contexts = _int(params, "max_contexts", default=5)
+        threshold = _float(params, "threshold", default=0.0)
+        groups = self.pipeline.search_grouped(
+            query,
+            function=function,
+            paper_set_name=paper_set,
+            max_contexts=max_contexts,
+            threshold=threshold,
+            per_context_limit=top_k,
+            selection_strategy=strategy,
+        )
+        return json_response(
+            {
+                "query": query,
+                "score_function": function,
+                "paper_set": paper_set,
+                "selection_strategy": strategy,
+                "top_k": top_k,
+                "max_contexts": max_contexts,
+                "threshold": threshold,
+                "count": len(groups),
+                "groups": [group_to_dict(group) for group in groups],
+            }
+        )
+
+    def _handle_explain(self, params: Dict[str, List[str]]) -> Response:
+        query = _required(params, "q")
+        paper_id = _required(params, "paper_id")
+        function = _choice(
+            params, "score_function", scoring.function_names(), "text"
+        )
+        paper_set = _choice(
+            params, "paper_set", scoring.PAPER_SET_NAMES, "text"
+        )
+        strategy = _choice(
+            params, "selection_strategy", SELECTION_STRATEGIES, "probe"
+        )
+        max_contexts = _int(params, "max_contexts", default=5)
+        if paper_id not in self.pipeline.corpus:
+            raise BadRequest(f"unknown paper_id {paper_id!r}")
+        explanation = self.pipeline.explain(
+            query,
+            paper_id,
+            function=function,
+            paper_set_name=paper_set,
+            selection_strategy=strategy,
+            max_contexts=max_contexts,
+        )
+        payload = explanation_to_dict(explanation)
+        payload["score_function"] = function
+        payload["paper_set"] = paper_set
+        return json_response(payload)
+
+    def _handle_reload(self, params: Dict[str, List[str]]) -> Response:
+        view = self.pipeline.refresh()
+        return json_response(
+            {"status": "reloaded", "view_revision": view.revision}
+        )

@@ -200,6 +200,63 @@ class TestWorkspaceStatus:
         assert "need `repro build`" in output
 
 
+class TestServe:
+    def test_serve_banner_reports_actual_bound_port(self, data_dir, capsys):
+        """``--port 0`` must surface the resolved ephemeral port in the
+        banner, never the literal 0 that was asked for."""
+        import re
+
+        code = main([
+            "serve", "--data", str(data_dir), "--port", "0",
+            "--for-seconds", "0.01",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        match = re.search(r"on http://127\.0\.0\.1:(\d+)", output)
+        assert match is not None, output
+        assert int(match.group(1)) != 0
+        assert "/search" in output and "/admin/reload" in output
+
+    def test_serve_answers_search_over_http(self, data_dir, capsys):
+        import json
+        import re
+        import threading
+        import time
+        import urllib.request
+
+        thread = threading.Thread(
+            target=lambda: main([
+                "serve", "--data", str(data_dir), "--port", "0",
+                "--for-seconds", "3", "--warmup", "2",
+            ]),
+            daemon=True,
+        )
+        thread.start()
+        # Poll captured output for the banner (the server thread prints
+        # it once the pipeline is loaded and the socket is bound).
+        deadline = time.monotonic() + 30
+        port = None
+        captured = ""
+        while port is None and time.monotonic() < deadline:
+            captured += capsys.readouterr().out
+            match = re.search(r"on http://127\.0\.0\.1:(\d+)", captured)
+            if match:
+                port = int(match.group(1))
+            else:
+                time.sleep(0.05)
+        assert port is not None, captured
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}/search?q=anything+goes&top_k=3",
+            timeout=10,
+        ) as response:
+            payload = json.loads(response.read())
+        assert response.status == 200
+        assert payload["query"] == "anything goes"
+        assert isinstance(payload["hits"], list)
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+
+
 class TestEvaluate:
     def test_evaluate_runs(self, data_dir, capsys):
         code = main(["evaluate", "--data", str(data_dir), "--queries", "4"])

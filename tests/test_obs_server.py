@@ -172,3 +172,40 @@ class TestLifecycle:
         with ExpositionServer(port=0) as server:
             with pytest.raises(RuntimeError, match="already started"):
                 server.start()
+
+    def test_stop_start_cycles_on_a_fixed_port_never_eaddrinuse(self):
+        """Repeated restarts on one port must not trip over the previous
+        listener's TIME_WAIT socket -- allow_reuse_address is applied
+        before bind (regression: a restart used to be able to fail with
+        EADDRINUSE depending on close timing)."""
+        first = ExpositionServer(port=0).start()
+        port = first.port
+        first.stop()
+        for _ in range(5):
+            server = ExpositionServer(port=port).start()
+            try:
+                status, _, _ = _get(server, "/health")
+                assert status == 200
+                assert server.port == port
+            finally:
+                server.stop()
+
+    def test_port_zero_resolved_before_start(self):
+        """The bound port is readable from construction on -- callers
+        (CLI banner, tests) never see the literal 0 they asked for."""
+        server = ExpositionServer(port=0)
+        try:
+            assert server.port != 0
+            assert server.host == "127.0.0.1"
+        finally:
+            server.stop()
+
+    def test_bind_failure_raises_and_releases(self):
+        with ExpositionServer(port=0) as server:
+            # The same (host, port) with SO_REUSEADDR still refuses a
+            # second *live* listener; construction must raise OSError
+            # (not hang or half-bind) and close its socket.
+            with pytest.raises(OSError):
+                ExpositionServer(port=server.port)
+            status, _, _ = _get(server, "/health")
+            assert status == 200  # the original listener is unharmed

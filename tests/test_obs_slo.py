@@ -74,6 +74,63 @@ class TestParseSlo:
             parse_slo(bad)
 
 
+class TestParseSloEdgeCases:
+    """Fractional values, whitespace, and the documented-syntax errors."""
+
+    @pytest.mark.parametrize(
+        "spec, target, window_s",
+        [
+            ("three-nines:error_rate:99.9%", 0.999, 300.0),
+            ("four-nines:error_rate:99.99%:3600s", 0.9999, 3600.0),
+            ("subsecond:latency:250ms:99.9%:0.5s", 0.999, 0.5),
+            ("fractional:cache_hit_rate:12.5%:90.5s", 0.125, 90.5),
+            ("scientific:error_rate:9.95e1%", 0.995, 300.0),
+        ],
+    )
+    def test_fractional_targets_and_windows(self, spec, target, window_s):
+        slo = parse_slo(spec)
+        assert slo.target == pytest.approx(target)
+        assert slo.window_s == pytest.approx(window_s)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "  padded : error_rate : 95% : 60s  ",
+            "padded:latency: 250ms : 95%",
+            "\tpadded\t:\terror_rate\t:\t95%\t",
+        ],
+    )
+    def test_whitespace_stripped_around_every_token(self, spec):
+        slo = parse_slo(spec)
+        assert slo.name == "padded"
+        assert slo.target == pytest.approx(0.95)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",                                # no tokens at all
+            "name-only",                       # too few tokens
+            "x:error_rate",                    # still too few
+            "x:error_rate:95%:60s:extra",      # too many tokens
+            "x:latency:250ms:95%:60s:extra",   # too many (latency form)
+            "x:bogus_kind:95%",                # unknown kind
+            "x:error_rate:150%",               # target above 100%
+            "x:error_rate:0%",                 # target of zero
+            "x:error_rate:95%:-60s",           # non-positive window
+            "x:latency:-250ms:95%",            # non-positive threshold
+        ],
+    )
+    def test_every_rejection_names_the_offending_spec(self, bad):
+        """Malformed input fails as 'bad SLO spec ...', never as a bare
+        constructor ValueError or an IndexError from token slicing."""
+        with pytest.raises(ValueError, match="bad SLO spec"):
+            parse_slo(bad)
+
+    def test_trailing_tokens_error_documents_the_syntax(self):
+        with pytest.raises(ValueError, match=r"<name>:<kind>"):
+            parse_slo("x:error_rate:95%:60s:extra")
+
+
 class TestSloValidation:
     def test_target_bounds(self):
         with pytest.raises(ValueError, match="target"):

@@ -18,7 +18,10 @@ Gates:
 - ``BENCH_index_backend.json`` -- the ondisk backend's cold open
   (mmap + header parse) must stay **at or above** 10x faster than the
   memory backend's full-parse load
-  (``benchmarks/test_perf_index_backend.py``).
+  (``benchmarks/test_perf_index_backend.py``);
+- ``BENCH_serving_http.json`` -- the HTTP service's closed-loop
+  sustained throughput must stay **at or above** its QPS floor
+  (``benchmarks/test_perf_serving_http.py``).
 
 When a result file does not exist (that bench has not been run on this
 checkout) its gate is skipped with exit 0 -- the gate guards recorded
@@ -122,6 +125,16 @@ GATES = (
         label="ondisk cold-open speedup",
         unit="x",
         hint="see benchmarks/test_perf_index_backend.py",
+    ),
+    Gate(
+        payload="BENCH_serving_http.json",
+        metric="sustained_qps",
+        floor_key="floor",
+        default_floor=20.0,
+        direction="min",
+        label="HTTP serving throughput",
+        unit=" qps",
+        hint="see benchmarks/test_perf_serving_http.py",
     ),
 )
 

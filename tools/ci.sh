@@ -25,8 +25,12 @@ echo "== lint: workspace artifact registry =="
 python tools/check_workspace_manifest.py
 
 echo
-echo "== bench: regression gates (serving speedup, obs overhead, index backend) =="
+echo "== bench: regression gates (serving speedup, obs overhead, index backend, http qps) =="
 python tools/check_bench_regression.py
+
+echo
+echo "== smoke: http search service (start, scrape, search, reload, stop) =="
+python tools/smoke_service.py
 
 echo
 echo "== tests: tier-1 suite =="

@@ -1,0 +1,238 @@
+#!/usr/bin/env python3
+"""Closed-loop HTTP load generator for the repro search service.
+
+N client threads each run a closed loop against ``GET /search``: issue a
+request, wait for the response, immediately issue the next -- so offered
+load adapts to what the service sustains (the standard way to measure
+*max sustainable* throughput, as opposed to an open-loop generator that
+measures queueing collapse).  Two phases:
+
+1. **warmup** -- same loop, nothing recorded; fills the result cache,
+   builds lazy substrates, and gets the thread pool to steady state;
+2. **measurement** -- every request's latency and status is recorded;
+   throughput = completed OK requests / measured wall-clock.
+
+Usable as a library (``benchmarks/test_perf_serving_http.py`` imports
+:func:`run_load`) and as a CLI against any running service::
+
+    python tools/loadgen.py --base-url http://127.0.0.1:8977 \
+        --query "dna repair" --query "gene expression" \
+        --clients 8 --warmup 2 --duration 10
+
+Stdlib only; one fresh connection per request (loopback TCP setup is in
+the measured latency, the same for every ranking function compared).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def percentile(values: Sequence[float], p: float) -> Optional[float]:
+    """Nearest-rank percentile (p in (0, 100]); None on no data."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(int(-(-p * len(ordered) // 100)), 1)  # ceil(p/100 * n)
+    return ordered[rank - 1]
+
+
+@dataclass
+class LoadResult:
+    """Everything one measurement phase produced."""
+
+    clients: int
+    duration_s: float
+    ok: int = 0
+    shed: int = 0           # 429 responses
+    errors: int = 0         # transport errors or non-200/429 statuses
+    latencies_s: List[float] = field(default_factory=list)  # OK requests
+
+    @property
+    def requests(self) -> int:
+        return self.ok + self.shed + self.errors
+
+    @property
+    def qps(self) -> float:
+        """Completed-OK throughput over the measured window."""
+        return self.ok / self.duration_s if self.duration_s > 0 else 0.0
+
+    def latency_ms(self, p: float) -> Optional[float]:
+        value = percentile(self.latencies_s, p)
+        return None if value is None else value * 1000.0
+
+    def format_table(self) -> str:
+        def ms(p: float) -> str:
+            value = self.latency_ms(p)
+            return "-" if value is None else f"{value:.2f} ms"
+
+        return "\n".join([
+            f"clients                {self.clients}",
+            f"measured window        {self.duration_s:.2f} s",
+            f"requests               {self.requests}"
+            f" (ok={self.ok} shed={self.shed} errors={self.errors})",
+            f"sustained throughput   {self.qps:.1f} qps",
+            f"latency p50            {ms(50)}",
+            f"latency p95            {ms(95)}",
+            f"latency p99            {ms(99)}",
+        ])
+
+    def to_dict(self) -> Dict:
+        return {
+            "clients": self.clients,
+            "duration_s": round(self.duration_s, 3),
+            "requests": self.requests,
+            "ok": self.ok,
+            "shed": self.shed,
+            "errors": self.errors,
+            "sustained_qps": round(self.qps, 3),
+            "p50_ms": _round(self.latency_ms(50)),
+            "p95_ms": _round(self.latency_ms(95)),
+            "p99_ms": _round(self.latency_ms(99)),
+        }
+
+
+def _round(value: Optional[float]) -> Optional[float]:
+    return None if value is None else round(value, 3)
+
+
+def _search_url(base_url: str, query: str, top_k: int, score_function: str) -> str:
+    params = urllib.parse.urlencode(
+        {"q": query, "top_k": top_k, "score_function": score_function}
+    )
+    return f"{base_url.rstrip('/')}/search?{params}"
+
+
+def _one_request(url: str, timeout_s: float) -> Optional[int]:
+    """Status code, or None on a transport error."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout_s) as response:
+            response.read()
+            return response.status
+    except urllib.error.HTTPError as error:
+        error.read()
+        return error.code
+    except (urllib.error.URLError, OSError, TimeoutError):
+        return None
+
+
+def run_load(
+    base_url: str,
+    queries: Sequence[str],
+    clients: int = 4,
+    duration_s: float = 5.0,
+    warmup_s: float = 1.0,
+    top_k: int = 10,
+    score_function: str = "text",
+    timeout_s: float = 30.0,
+) -> LoadResult:
+    """Drive the service with ``clients`` closed loops; see module docs."""
+    if not queries:
+        raise ValueError("need at least one query")
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    urls = [
+        _search_url(base_url, query, top_k, score_function)
+        for query in queries
+    ]
+    start_barrier = threading.Barrier(clients + 1)
+    measure_started = threading.Event()
+    stop = threading.Event()
+    lock = threading.Lock()
+    result = LoadResult(clients=clients, duration_s=0.0)
+
+    def client_loop(client_index: int) -> None:
+        position = client_index  # stagger the round-robin start points
+        start_barrier.wait()
+        while not stop.is_set():
+            url = urls[position % len(urls)]
+            position += 1
+            started = time.perf_counter()
+            status = _one_request(url, timeout_s)
+            elapsed = time.perf_counter() - started
+            if not measure_started.is_set():
+                continue
+            with lock:
+                if status == 200:
+                    result.ok += 1
+                    result.latencies_s.append(elapsed)
+                elif status == 429:
+                    result.shed += 1
+                else:
+                    result.errors += 1
+
+    threads = [
+        threading.Thread(target=client_loop, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    start_barrier.wait()
+    time.sleep(warmup_s)
+    measured_from = time.perf_counter()
+    measure_started.set()
+    time.sleep(duration_s)
+    stop.set()
+    measured_duration = time.perf_counter() - measured_from
+    for thread in threads:
+        thread.join(timeout=timeout_s + 5.0)
+    result.duration_s = measured_duration
+    return result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="closed-loop load generator for the repro search service"
+    )
+    parser.add_argument(
+        "--base-url", required=True, help="e.g. http://127.0.0.1:8977"
+    )
+    parser.add_argument(
+        "--query", action="append", default=None,
+        help="query to cycle through (repeatable)",
+    )
+    parser.add_argument(
+        "--queries-file", default=None,
+        help="file with one query per line (# comments and blanks skipped)",
+    )
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--duration", type=float, default=5.0, metavar="S")
+    parser.add_argument("--warmup", type=float, default=1.0, metavar="S")
+    parser.add_argument("--top-k", type=int, default=10)
+    parser.add_argument("--score-function", default="text")
+    args = parser.parse_args(argv)
+
+    queries = list(args.query or [])
+    if args.queries_file:
+        with open(args.queries_file, "r", encoding="utf-8") as handle:
+            queries.extend(
+                line.strip()
+                for line in handle
+                if line.strip() and not line.lstrip().startswith("#")
+            )
+    if not queries:
+        parser.error("pass --query and/or --queries-file")
+
+    result = run_load(
+        args.base_url,
+        queries,
+        clients=args.clients,
+        duration_s=args.duration,
+        warmup_s=args.warmup,
+        top_k=args.top_k,
+        score_function=args.score_function,
+    )
+    print(result.format_table())
+    return 0 if result.errors == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""CI smoke for the HTTP search service: start, scrape, search, stop.
+
+Boots a :class:`~repro.serving.service.SearchService` over a small
+generated corpus on an ephemeral port, then exercises the full surface
+once over real HTTP:
+
+1. ``GET /health``        -- must answer ``{"status": "ok", ...}``;
+2. ``GET /metrics``       -- must expose the serving gauges;
+3. ``GET /search``        -- body hits must match the same
+   ``Pipeline.search`` call serialized with the same helpers
+   (the byte-identical acceptance property, end to end);
+4. ``GET /search`` (bad)  -- an unknown score function must be a 400;
+5. ``POST /admin/reload`` -- must swap the serving view (revision bumps);
+6. stop, then restart on the same port -- the rebind path must not
+   raise ``EADDRINUSE``.
+
+Seconds, not minutes: this is the "does the service even serve" check
+between the lints and the full test suite in ``tools/ci.sh``, not a
+benchmark (that is ``benchmarks/test_perf_serving_http.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import urllib.error
+import urllib.parse
+import urllib.request
+
+REPO_ROOT = __import__("pathlib").Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.datagen import CorpusGenerator, OntologyGenerator  # noqa: E402
+from repro.pipeline import Pipeline  # noqa: E402
+from repro.serving.service import hit_to_dict  # noqa: E402
+from repro.serving import SearchService  # noqa: E402
+
+QUERY = "gene expression"
+
+
+def _fetch(base_url: str, path: str, method: str = "GET", **params):
+    """(status, parsed body) -- JSON when the endpoint speaks it, else text."""
+    url = base_url + path
+    if params:
+        url += "?" + urllib.parse.urlencode(params)
+    request = urllib.request.Request(url, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            status, raw = response.status, response.read()
+    except urllib.error.HTTPError as error:
+        status, raw = error.code, error.read()
+    try:
+        return status, json.loads(raw)
+    except json.JSONDecodeError:
+        return status, raw.decode("utf-8")
+
+
+def _check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"smoke_service: FAIL: {message}", file=sys.stderr)
+        sys.exit(1)
+    print(f"smoke_service: ok: {message}")
+
+
+def main() -> int:
+    dataset = CorpusGenerator(
+        n_papers=200,
+        ontology_generator=OntologyGenerator(n_terms=80, max_depth=5),
+    ).generate(seed=7)
+    pipeline = Pipeline.from_dataset(dataset, min_context_size=5)
+
+    service = SearchService(pipeline, port=0)
+    service.start()
+    base_url = f"http://{service.host}:{service.port}"
+    try:
+        status, health = _fetch(base_url, "/health")
+        _check(
+            status == 200 and health.get("status") == "ok",
+            f"/health answers ok (view revision {health.get('view_revision')})",
+        )
+
+        status, text = _fetch(base_url, "/metrics")
+        _check(
+            status == 200 and "serving_view" in text,
+            "/metrics scrapes the serving-view gauges",
+        )
+
+        status, body = _fetch(
+            base_url, "/search", q=QUERY, top_k=5, score_function="text"
+        )
+        expected = [
+            hit_to_dict(hit)
+            for hit in pipeline.search(QUERY, function="text", limit=5)
+        ]
+        _check(
+            status == 200 and body["hits"] == expected,
+            f"/search matches Pipeline.search ({len(expected)} hits)",
+        )
+
+        status, body = _fetch(
+            base_url, "/search", q=QUERY, score_function="no-such-function"
+        )
+        _check(
+            status == 400 and "score_function" in body.get("error", ""),
+            "bad score_function is a 400",
+        )
+
+        view_before = pipeline.serving_view
+        status, body = _fetch(base_url, "/admin/reload", method="POST")
+        _check(
+            status == 200
+            and body.get("status") == "reloaded"
+            and pipeline.serving_view is not view_before,
+            f"/admin/reload swaps the view (revision {body.get('view_revision')})",
+        )
+    finally:
+        service.stop()
+        port = service.port
+
+    # Rebind on the port just released must not raise EADDRINUSE.
+    service = SearchService(pipeline, port=port)
+    service.start()
+    try:
+        status, _ = _fetch(base_url, "/health")
+        _check(status == 200, f"restart rebinds port {port}")
+    finally:
+        service.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
