@@ -21,6 +21,14 @@ whichever variant ran first.  The floors (disabled within 2% of
 stripped, sampled within 10%) travel inside ``BENCH_obs_overhead.json``
 and are enforced both here and by ``tools/check_bench_regression.py``
 in CI.
+
+A second test times the shadow-scoring hot path the same way: the
+serving loop with a :class:`~repro.serving.analytics.ShadowScorer`
+whose sample rate is 0 (one RNG draw per request, nothing queued) must
+stay within the same 2% envelope of the no-shadow baseline, and a 10%
+sample rate -- including draining the re-scoring backlog -- within a
+generous budget.  Those numbers land in the same
+``BENCH_obs_overhead.json`` under ``shadow_*`` keys.
 """
 
 import json
@@ -31,11 +39,18 @@ from conftest import write_result
 
 from repro.obs import configure_telemetry, reset_telemetry
 from repro.obs.request import QueryTelemetry
+from repro.serving.analytics import ShadowScorer
 
 #: The disabled fast path must stay within this percentage of stripped.
 DISABLED_FLOOR_PCT = 2.0
 #: The enabled, sampled-tracing path must stay within this percentage.
 SAMPLED_FLOOR_PCT = 10.0
+#: Shadow configured but sampling nothing must stay in the same envelope.
+SHADOW_DISABLED_FLOOR_PCT = 2.0
+#: 10% shadow sampling re-scores a tenth of traffic under a second
+#: function on a worker thread; the budget covers enqueue cost plus the
+#: GIL contention of draining that backlog.
+SHADOW_SAMPLED_FLOOR_PCT = 50.0
 REPEATS = 5
 LIMIT = 10
 
@@ -164,6 +179,101 @@ def test_perf_obs_overhead(pipeline, queries, results_dir, monkeypatch):
     assert sampled_pct <= SAMPLED_FLOOR_PCT, (
         f"sampled-tracing path is {sampled_pct:.2f}% over the stripped "
         f"baseline (floor {SAMPLED_FLOOR_PCT}%)"
+    )
+
+
+def test_perf_shadow_overhead(pipeline, queries, results_dir):
+    """Shadow sampling cost on the serving hot path, same discipline."""
+
+    def serving_lap(scorer):
+        """One serving-shaped lap: search, then maybe offer to shadow."""
+        view = pipeline.serving_view
+        started = time.perf_counter()
+        for query in queries:
+            hits = pipeline.search(
+                query, function="text", paper_set_name="text", limit=LIMIT,
+                threshold=0.0, selection_strategy="probe", use_cache=False,
+            )
+            if scorer is not None:
+                scorer.offer(
+                    query=query, function="text", paper_set="text",
+                    strategy="probe", threshold=0.0,
+                    primary_ids=[hit.paper_id for hit in hits], view=view,
+                )
+        if scorer is not None:
+            assert scorer.drain(timeout_s=60.0), "shadow backlog never drained"
+        return time.perf_counter() - started
+
+    disabled_scorer = ShadowScorer(
+        pipeline, ["citation"], sample_rate=0.0, k=LIMIT, seed=11
+    ).start()
+    sampled_scorer = ShadowScorer(
+        pipeline, ["citation"], sample_rate=0.1, k=LIMIT, seed=11
+    ).start()
+    try:
+        variants = {
+            "baseline": lambda: serving_lap(None),
+            "shadow_disabled": lambda: serving_lap(disabled_scorer),
+            "shadow_sampled": lambda: serving_lap(sampled_scorer),
+        }
+        best = {}
+        for name, run in variants.items():
+            run()  # warm lap: builds the citation substrate, warms caches
+            best[name] = float("inf")
+        for _ in range(REPEATS):
+            for name, run in variants.items():
+                best[name] = min(best[name], run())
+    finally:
+        disabled_scorer.stop()
+        sampled_scorer.stop()
+
+    baseline_seconds = best["baseline"]
+    disabled_seconds = best["shadow_disabled"]
+    sampled_seconds = best["shadow_sampled"]
+
+    def overhead_pct(seconds):
+        return (seconds - baseline_seconds) / baseline_seconds * 100.0
+
+    disabled_pct = overhead_pct(disabled_seconds)
+    sampled_pct = overhead_pct(sampled_seconds)
+
+    table = "\n".join([
+        f"queries x repeats         {len(queries)} x {REPEATS}"
+        " (interleaved, min kept)",
+        f"no-shadow baseline        {baseline_seconds * 1000.0:10.2f} ms",
+        f"shadow sampling off       {disabled_seconds * 1000.0:10.2f} ms"
+        f"  ({disabled_pct:+.2f}%  floor {SHADOW_DISABLED_FLOOR_PCT:.0f}%)",
+        f"shadow sampling (10%)     {sampled_seconds * 1000.0:10.2f} ms"
+        f"  ({sampled_pct:+.2f}%  floor {SHADOW_SAMPLED_FLOOR_PCT:.0f}%)",
+    ])
+    write_result(results_dir, "perf_shadow_overhead", table)
+
+    # Merge into the payload the main overhead bench wrote (it runs
+    # first in this module); both sets of gates read one file.
+    bench_path = results_dir / "BENCH_obs_overhead.json"
+    payload = {}
+    if bench_path.exists():
+        payload = json.loads(bench_path.read_text(encoding="utf-8"))
+    payload.update({
+        "shadow_baseline_seconds": round(baseline_seconds, 6),
+        "shadow_disabled_seconds": round(disabled_seconds, 6),
+        "shadow_sampled_seconds": round(sampled_seconds, 6),
+        "shadow_disabled_overhead_pct": round(disabled_pct, 3),
+        "shadow_sampled_overhead_pct": round(sampled_pct, 3),
+        "shadow_disabled_floor_pct": SHADOW_DISABLED_FLOOR_PCT,
+        "shadow_sampled_floor_pct": SHADOW_SAMPLED_FLOOR_PCT,
+    })
+    bench_path.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+    assert disabled_pct <= SHADOW_DISABLED_FLOOR_PCT, (
+        f"shadow-disabled serving path is {disabled_pct:.2f}% over the "
+        f"no-shadow baseline (floor {SHADOW_DISABLED_FLOOR_PCT}%)"
+    )
+    assert sampled_pct <= SHADOW_SAMPLED_FLOOR_PCT, (
+        f"10%-sampled shadow scoring is {sampled_pct:.2f}% over the "
+        f"no-shadow baseline (floor {SHADOW_SAMPLED_FLOOR_PCT}%)"
     )
 
 

@@ -13,6 +13,12 @@ and transport-error counts, which must both be zero -- the admission
 bounds are sized above the client count, so a shed here would mean
 admission leaks slots.
 
+A second, open-loop pass then offers a constant arrival rate at half
+the measured closed-loop throughput and records latency from each
+*scheduled* arrival time (no coordinated omission): those percentiles
+land in the same JSON payload under ``open_loop`` so regressions in
+queueing behaviour are visible next to the max-throughput numbers.
+
 Emits ``benchmarks/results/BENCH_serving_http.json`` (read by
 ``tools/check_bench_regression.py``; the QPS floor travels in the
 payload) in addition to the per-test JSON the conftest hook drops.
@@ -68,13 +74,27 @@ def test_perf_serving_http(pipeline, queries, results_dir):
         pipeline, port=0, max_in_flight=max(clients, 8), queue_depth=2 * clients
     )
     service.start()
+    base_url = f"http://{service.host}:{service.port}"
     try:
         result = loadgen.run_load(
-            f"http://{service.host}:{service.port}",
+            base_url,
             workload,
             clients=clients,
             duration_s=duration_s,
             warmup_s=warmup_s,
+        )
+        # Open-loop pass at half the sustained rate: comfortably inside
+        # capacity, so the percentiles measure queueing under a steady
+        # offered load rather than saturation collapse.
+        open_rate = max(result.qps / 2.0, 1.0)
+        open_result = loadgen.run_load(
+            base_url,
+            workload,
+            clients=clients,
+            duration_s=duration_s,
+            warmup_s=min(warmup_s, 0.5),
+            mode="open",
+            rate=open_rate,
         )
     finally:
         service.stop()
@@ -84,6 +104,8 @@ def test_perf_serving_http(pipeline, queries, results_dir):
         f"distinct queries     {len(workload)}",
         result.format_table(),
         f"floor                {MIN_SUSTAINED_QPS:.0f} qps sustained",
+        "-- open loop --",
+        open_result.format_table(),
     ])
     write_result(results_dir, "perf_serving_http", table)
 
@@ -91,6 +113,7 @@ def test_perf_serving_http(pipeline, queries, results_dir):
     payload["papers"] = len(pipeline.corpus)
     payload["distinct_queries"] = len(workload)
     payload["floor"] = MIN_SUSTAINED_QPS
+    payload["open_loop"] = open_result.to_dict()
     (results_dir / "BENCH_serving_http.json").write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
@@ -99,3 +122,7 @@ def test_perf_serving_http(pipeline, queries, results_dir):
     assert result.shed == 0, f"admission shed {result.shed} requests"
     assert result.ok > 0 and result.latencies_s
     assert result.qps >= MIN_SUSTAINED_QPS
+    assert open_result.errors == 0, (
+        f"open-loop transport/5xx errors: {open_result.errors}"
+    )
+    assert open_result.ok > 0 and open_result.latencies_s

@@ -403,14 +403,59 @@ def _load_telemetry_dump(path: str) -> dict:
 def _cmd_obs_slowlog(args: argparse.Namespace) -> int:
     """Render the slow-query log of a telemetry dump (slowest first)."""
     data = _load_telemetry_dump(args.file)
-    print(render_slowlog(data.get("slowlog", []), limit=args.limit))
+    entries = data.get("slowlog", [])
+    if args.format == "json":
+        if args.limit:
+            entries = entries[:args.limit]
+        print(json.dumps({"slowlog": entries}, indent=2, sort_keys=True))
+        return 0
+    print(render_slowlog(entries, limit=args.limit))
     return 0
 
 
 def _cmd_obs_slo(args: argparse.Namespace) -> int:
     """Render the SLO / error-budget report of a telemetry dump."""
     data = _load_telemetry_dump(args.file)
-    print(format_slo_report(data.get("slo", [])))
+    statuses = data.get("slo", [])
+    if args.format == "json":
+        print(json.dumps({"slo": statuses}, indent=2, sort_keys=True))
+        return 0
+    print(format_slo_report(statuses))
+    return 0
+
+
+def _cmd_obs_analytics(args: argparse.Namespace) -> int:
+    """Render a running service's /analytics payload (or a saved copy)."""
+    from repro.serving.analytics import render_analytics
+
+    if bool(args.url) == bool(args.file):
+        print("error: pass exactly one of --url or --file", file=sys.stderr)
+        return 1
+    if args.url:
+        import urllib.error
+        import urllib.request
+
+        url = args.url.rstrip("/") + "/analytics"
+        try:
+            with urllib.request.urlopen(url, timeout=30) as response:
+                raw = response.read()
+        except (urllib.error.URLError, OSError) as error:
+            print(f"error: cannot fetch {url}: {error}", file=sys.stderr)
+            return 1
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as error:
+            print(
+                f"error: {url} did not answer JSON ({error})",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        payload = _load_telemetry_dump(args.file)
+    if args.format == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(render_analytics(payload))
     return 0
 
 
@@ -480,6 +525,16 @@ def _cmd_obs_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_function_args(specs) -> tuple:
+    """Flatten repeatable, comma-separable score-function flags."""
+    return tuple(
+        name
+        for spec in (specs or ())
+        for name in spec.split(",")
+        if name.strip()
+    )
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the HTTP search service (search + observability endpoints)."""
     import time
@@ -505,6 +560,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 pipeline.search(query)
             pipeline.search_many(queries, max_workers=args.workers)
             print(f"warmed up with {len(queries)} queries")
+    if args.probe_queries:
+        try:
+            probes = _read_queries_file(args.probe_queries)
+        except OSError as error:
+            print(
+                f"error: cannot read {args.probe_queries}: {error}",
+                file=sys.stderr,
+            )
+            return 1
+        try:
+            pipeline.configure_drift(
+                probes,
+                functions=_split_function_args(args.probe_function) or ("text",),
+                k=args.probe_k,
+                max_drift=args.max_drift,
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        gate = (
+            f"max_drift={args.max_drift:g}" if args.max_drift is not None
+            else "report-only"
+        )
+        print(
+            f"drift detection armed: {len(probes)} probe queries ({gate})"
+        )
+    elif args.max_drift is not None:
+        print(
+            "error: --max-drift needs --probe-queries to probe with",
+            file=sys.stderr,
+        )
+        return 1
     try:
         service = SearchService(
             pipeline,
@@ -513,15 +600,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_in_flight=args.max_in_flight,
             queue_depth=args.queue_depth,
             retry_after_s=args.retry_after_s,
+            shadow_functions=_split_function_args(args.shadow_function),
+            shadow_sample_rate=args.shadow_sample_rate,
+            shadow_k=args.shadow_k,
+            ready_max_age_s=args.ready_max_age_s,
         ).start()
     except OSError as error:
         print(f"error: cannot bind {args.host}:{args.port}: {error}",
               file=sys.stderr)
         return 1
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if service.shadow is not None:
+        print(
+            f"shadow scoring {', '.join(service.shadow.functions)} at "
+            f"sample rate {service.shadow.sample_rate:g}"
+        )
     # service.port is the *bound* port -- meaningful with --port 0 too.
     print(
-        f"serving /search /search_grouped /explain /admin/reload "
-        f"/metrics /health /slo /slowlog on "
+        f"serving /search /search_grouped /explain /ready /analytics "
+        f"/admin/reload /metrics /health /slo /slowlog on "
         f"http://{service.host}:{service.port} (ctrl-c to stop)"
     )
     try:
@@ -729,6 +828,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--for-seconds", type=float, default=None, metavar="S",
         help="serve for S seconds then exit (default: run until ctrl-c)",
     )
+    serve.add_argument(
+        "--shadow-functions", action="append", metavar="FN[,FN...]",
+        dest="shadow_function",
+        help="shadow-score sampled /search traffic under these registered "
+        "score functions (repeatable or comma-separated); agreement is "
+        "recorded as search.shadow.* histograms",
+    )
+    serve.add_argument(
+        "--shadow-sample-rate", type=float, default=0.1, metavar="FRACTION",
+        help="fraction of /search traffic shadow-scored (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--shadow-k", type=int, default=10, metavar="K",
+        help="top-k depth for shadow rank agreement (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--probe-queries", default=None, metavar="PATH",
+        help="file of probe queries (one per line) pinned for reload drift "
+        "detection on POST /admin/reload",
+    )
+    serve.add_argument(
+        "--probe-functions", action="append", metavar="FN[,FN...]",
+        dest="probe_function",
+        help="score functions the drift probe compares (repeatable or "
+        "comma-separated; default: text)",
+    )
+    serve.add_argument(
+        "--probe-k", type=int, default=10, metavar="K",
+        help="top-k depth for reload drift comparison (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--max-drift", type=float, default=None, metavar="CHURN",
+        help="refuse POST /admin/reload with 409 when any probe query's "
+        "result-set churn exceeds this fraction in [0, 1] "
+        "(default: report drift but never refuse)",
+    )
+    serve.add_argument(
+        "--ready-max-age-s", type=float, default=None, metavar="S",
+        help="/ready answers 503 when the serving view is older than this "
+        "(default: no age bound)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     evaluate = subparsers.add_parser(
@@ -854,6 +994,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit", type=int, default=0,
         help="show only the N slowest entries (0 = all)",
     )
+    obs_slowlog.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (default: %(default)s)",
+    )
     obs_slowlog.set_defaults(func=_cmd_obs_slowlog)
 
     obs_slo = obs_sub.add_parser(
@@ -866,7 +1010,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="telemetry dump written by --telemetry-out "
         "(default: %(default)s)",
     )
+    obs_slo.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (default: %(default)s)",
+    )
     obs_slo.set_defaults(func=_cmd_obs_slo)
+
+    obs_analytics = obs_sub.add_parser(
+        "analytics",
+        help="render a service's GET /analytics payload "
+        "(query analytics, shadow agreement, reload drift)",
+    )
+    obs_analytics.add_argument(
+        "--url", default=None, metavar="BASE_URL",
+        help="fetch live from a running service, e.g. http://127.0.0.1:8977",
+    )
+    obs_analytics.add_argument(
+        "--file", default=None, metavar="PATH",
+        help="render a saved /analytics JSON payload instead",
+    )
+    obs_analytics.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (default: %(default)s)",
+    )
+    obs_analytics.set_defaults(func=_cmd_obs_analytics)
 
     obs_serve = obs_sub.add_parser(
         "serve",

@@ -1,0 +1,283 @@
+"""Ranking-quality math: rank agreement between two result lists.
+
+The source paper compares ranking functions *offline*; this module is
+the arithmetic that turns the same comparison into an *online* signal.
+Two rankings (top-k paper-id lists) are compared on:
+
+- **Jaccard@k** -- set overlap of the top-k ids, position-blind
+  (``|A ∩ B| / |A ∪ B|``); *churn* is its complement, ``1 - jaccard``;
+- **Kendall tau on the top-k** -- pairwise order agreement over the ids
+  *both* rankings retrieved: ``(concordant - discordant) / pairs``.
+  Fewer than two common ids leaves order agreement undefined (``None``)
+  -- set overlap already says everything there is to say.
+
+Consumers:
+
+- the **shadow-scoring harness**
+  (:class:`repro.serving.analytics.ShadowScorer`) records live
+  primary-vs-shadow agreement as ``search.shadow.*`` histograms;
+- the **reload drift detector** (:meth:`repro.pipeline.Pipeline.refresh`)
+  compares a pinned probe-query baseline against a candidate serving
+  view and refuses the swap (:class:`DriftExceeded`) when result-set
+  churn exceeds the configured ``--max-drift``.
+
+Pure functions over sequences of ids -- no engines, no HTTP -- so every
+edge case is unit-testable (``tests/test_obs_quality.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.obs.metrics import get_registry
+
+__all__ = [
+    "DriftExceeded",
+    "DriftReport",
+    "FunctionDrift",
+    "RankAgreement",
+    "compare_rankings",
+    "evaluate_drift",
+    "export_drift_gauges",
+    "jaccard_at_k",
+    "kendall_tau_at_k",
+]
+
+
+def jaccard_at_k(
+    primary: Sequence[str], shadow: Sequence[str], k: Optional[int] = None
+) -> float:
+    """Set overlap of the two top-k id lists (``1.0`` when both empty).
+
+    Position-blind by design: it answers "did the *result set* change",
+    not "did the order change" -- that is :func:`kendall_tau_at_k`.
+    Duplicate ids within one list collapse (set semantics).
+    """
+    top_a = set(primary[:k] if k is not None else primary)
+    top_b = set(shadow[:k] if k is not None else shadow)
+    union = top_a | top_b
+    if not union:
+        return 1.0
+    return len(top_a & top_b) / len(union)
+
+
+def kendall_tau_at_k(
+    primary: Sequence[str], shadow: Sequence[str], k: Optional[int] = None
+) -> Optional[float]:
+    """Kendall tau over the ids both top-k lists contain; None if < 2.
+
+    Restricting to the intersection keeps tau a pure *order* signal:
+    ids only one ranking retrieved are already accounted for by
+    :func:`jaccard_at_k`, and counting them as discordant would double-
+    charge retrieval differences as ordering differences.  Identical
+    order over the common ids gives ``1.0``, full reversal ``-1.0``.
+    """
+    top_a = list(primary[:k] if k is not None else primary)
+    top_b = shadow[:k] if k is not None else shadow
+    position_b = {paper_id: rank for rank, paper_id in enumerate(top_b)}
+    common = [paper_id for paper_id in top_a if paper_id in position_b]
+    n = len(common)
+    if n < 2:
+        return None
+    concordant = 0
+    discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            # common is ordered by the primary ranking, so pair (i, j)
+            # is concordant iff the shadow ranking agrees i comes first.
+            if position_b[common[i]] < position_b[common[j]]:
+                concordant += 1
+            else:
+                discordant += 1
+    return (concordant - discordant) / (n * (n - 1) / 2)
+
+
+@dataclass(frozen=True)
+class RankAgreement:
+    """Agreement between one primary and one shadow ranking."""
+
+    k: int
+    jaccard: float
+    kendall_tau: Optional[float]
+    primary_count: int
+    shadow_count: int
+
+    @property
+    def churn(self) -> float:
+        """Result-set churn: the fraction of the union that changed."""
+        return 1.0 - self.jaccard
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "k": self.k,
+            "jaccard": round(self.jaccard, 6),
+            "kendall_tau": (
+                None if self.kendall_tau is None
+                else round(self.kendall_tau, 6)
+            ),
+            "churn": round(self.churn, 6),
+            "primary_count": self.primary_count,
+            "shadow_count": self.shadow_count,
+        }
+
+
+def compare_rankings(
+    primary: Sequence[str], shadow: Sequence[str], k: int = 10
+) -> RankAgreement:
+    """Jaccard@k + Kendall-tau@k between two ranked id lists."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    top_primary = list(primary[:k])
+    top_shadow = list(shadow[:k])
+    return RankAgreement(
+        k=k,
+        jaccard=jaccard_at_k(top_primary, top_shadow),
+        kendall_tau=kendall_tau_at_k(top_primary, top_shadow),
+        primary_count=len(top_primary),
+        shadow_count=len(top_shadow),
+    )
+
+
+# -- reload drift --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FunctionDrift:
+    """Old-vs-new agreement for one score function over the probe set."""
+
+    function: str
+    queries: int
+    mean_jaccard: float
+    mean_kendall_tau: Optional[float]  # None when undefined for every probe
+    max_churn: float
+    worst_query: Optional[str]
+
+    @property
+    def churn(self) -> float:
+        return 1.0 - self.mean_jaccard
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "function": self.function,
+            "queries": self.queries,
+            "mean_jaccard": round(self.mean_jaccard, 6),
+            "mean_kendall_tau": (
+                None if self.mean_kendall_tau is None
+                else round(self.mean_kendall_tau, 6)
+            ),
+            "churn": round(self.churn, 6),
+            "max_churn": round(self.max_churn, 6),
+            "worst_query": self.worst_query,
+        }
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Per-function drift between a probe baseline and a candidate view."""
+
+    k: int
+    functions: List[FunctionDrift]
+
+    @property
+    def max_churn(self) -> float:
+        """Worst per-query churn across every probed function."""
+        if not self.functions:
+            return 0.0
+        return max(drift.max_churn for drift in self.functions)
+
+    def exceeds(self, max_drift: float) -> bool:
+        return self.max_churn > max_drift
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "k": self.k,
+            "max_churn": round(self.max_churn, 6),
+            "functions": [drift.to_dict() for drift in self.functions],
+        }
+
+
+class DriftExceeded(Exception):
+    """A drift-gated refresh refused the swap; the old view stays live."""
+
+    def __init__(self, report: DriftReport, max_drift: float) -> None:
+        super().__init__(
+            f"reload drift {report.max_churn:.3f} exceeds "
+            f"max_drift {max_drift:g}; serving view not swapped"
+        )
+        self.report = report
+        self.max_drift = max_drift
+
+
+def evaluate_drift(
+    baseline: Mapping[str, Mapping[str, Sequence[str]]],
+    candidate: Mapping[str, Mapping[str, Sequence[str]]],
+    k: int = 10,
+) -> DriftReport:
+    """Compare two ``{function: {query: ranked ids}}`` probe rankings.
+
+    Functions are taken from the *baseline* (the pinned probe set);
+    probes missing from the candidate compare against the empty ranking,
+    so a function that stopped returning anything shows up as full
+    churn rather than silently dropping out of the report.
+    """
+    functions: List[FunctionDrift] = []
+    for function in sorted(baseline):
+        per_query = baseline[function]
+        candidate_per_query = candidate.get(function, {})
+        agreements = [
+            (query, compare_rankings(
+                per_query[query], candidate_per_query.get(query, ()), k=k,
+            ))
+            for query in sorted(per_query)
+        ]
+        if not agreements:
+            continue
+        taus = [
+            agreement.kendall_tau
+            for _, agreement in agreements
+            if agreement.kendall_tau is not None
+        ]
+        worst_query, worst = max(
+            agreements, key=lambda pair: pair[1].churn
+        )
+        functions.append(
+            FunctionDrift(
+                function=function,
+                queries=len(agreements),
+                mean_jaccard=(
+                    sum(a.jaccard for _, a in agreements) / len(agreements)
+                ),
+                mean_kendall_tau=(
+                    sum(taus) / len(taus) if taus else None
+                ),
+                max_churn=worst.churn,
+                worst_query=worst_query if worst.churn > 0.0 else None,
+            )
+        )
+    return DriftReport(k=k, functions=functions)
+
+
+def export_drift_gauges(report: DriftReport) -> None:
+    """Publish one drift report as ``serving.reload.drift.*`` gauges.
+
+    Last-write-wins gauges: a scrape always sees the most recent
+    drift-checked refresh.  ``kendall_tau`` is skipped when undefined
+    (mirrors the None-gauge convention of the prom encoder).
+    """
+    registry = get_registry()
+    registry.gauge("serving.reload.drift.max_churn").set(report.max_churn)
+    registry.gauge("serving.reload.drift.functions").set(
+        len(report.functions)
+    )
+    for drift in report.functions:
+        registry.gauge(
+            f"serving.reload.drift.{drift.function}.churn"
+        ).set(drift.churn)
+        registry.gauge(
+            f"serving.reload.drift.{drift.function}.jaccard"
+        ).set(drift.mean_jaccard)
+        if drift.mean_kendall_tau is not None:
+            registry.gauge(
+                f"serving.reload.drift.{drift.function}.kendall_tau"
+            ).set(drift.mean_kendall_tau)

@@ -211,6 +211,7 @@ class QueryTelemetry:
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
         self._events: deque = deque(maxlen=_MAX_WINDOW_EVENTS)
+        self._listeners: List = []
         self._owned_tracer = None
         if enabled:
             self._ensure_tracer()
@@ -227,6 +228,28 @@ class QueryTelemetry:
         """
         if current_tracer() is None:
             self._owned_tracer = start_tracing()
+
+    def add_listener(self, listener) -> None:
+        """Register a finish-hook called with every completed QueryRecord.
+
+        The hook for stream consumers such as the query-analytics
+        aggregator (:class:`repro.serving.analytics.QueryAnalytics`).
+        Listeners run on the request thread *after* the latency
+        observation, only while telemetry is enabled (the disabled fast
+        path never builds a record); exceptions are swallowed per
+        listener so a broken consumer cannot fail live queries.
+        """
+        with self._lock:
+            if listener not in self._listeners:
+                self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        """Deregister a finish-hook (missing listeners are ignored)."""
+        with self._lock:
+            try:
+                self._listeners.remove(listener)
+            except ValueError:
+                pass
 
     def disable(self) -> None:
         """Turn request capture off and drop a telemetry-owned tracer."""
@@ -321,6 +344,13 @@ class QueryTelemetry:
                 cache_lookups=record.cache_lookups,
             )
         )
+        with self._lock:
+            listeners = tuple(self._listeners)
+        for listener in listeners:
+            try:
+                listener(record)
+            except Exception:
+                registry.counter("telemetry.listener.errors").inc()
 
     # -- SLO evaluation --------------------------------------------------------------
 

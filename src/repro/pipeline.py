@@ -39,6 +39,12 @@ from repro.datagen.ontology_gen import OntologyGenerator
 from repro.index.backends.base import SearchBackend
 from repro.index.search import KeywordSearchEngine
 from repro.obs import get_registry, get_telemetry, span
+from repro.obs.quality import (
+    DriftExceeded,
+    DriftReport,
+    evaluate_drift,
+    export_drift_gauges,
+)
 from repro.ontology.ontology import Ontology
 from repro.serving import SearchResultCache, ServingView, SubstrateStore
 
@@ -97,6 +103,14 @@ class Pipeline:
             w_matching=w_matching,
             result_cache_size=result_cache_size,
         )
+        # Reload drift detection (configure_drift): a pinned probe-query
+        # baseline, the threshold an *enforced* refresh refuses above,
+        # and the substrate revision a refused swap pinned the old view
+        # against (None = no refusal in effect).
+        self._drift_config: Optional[dict] = None
+        self._drift_baseline: Optional[Dict[str, Dict[str, tuple]]] = None
+        self._drift_hold_revision: Optional[int] = None
+        self.last_drift_report: Optional[DriftReport] = None
 
     @classmethod
     def from_dataset(cls, dataset: GeneratedDataset, **kwargs) -> "Pipeline":
@@ -159,10 +173,21 @@ class Pipeline:
     def _view(self) -> ServingView:
         view = self._serving
         if view.revision != self._store.revision:
-            return self.refresh()
+            if self._drift_hold_revision == self._store.revision:
+                # A drift-gated refresh refused this revision: keep
+                # serving the pinned old view until an operator forces
+                # the swap or the substrate moves again.
+                return view
+            try:
+                return self.refresh(enforce_drift=True)
+            except DriftExceeded:
+                # The automatic staleness refresh hit the armed drift
+                # gate; refresh() pinned the hold, so keep serving the
+                # old view.  Only an explicit forced reload swaps now.
+                return view
         return view
 
-    def refresh(self) -> ServingView:
+    def refresh(self, enforce_drift: bool = False) -> ServingView:
         """Swap in a fresh :class:`ServingView` (atomic reference swap).
 
         Drops memoised search engines and cached search results in one
@@ -171,6 +196,17 @@ class Pipeline:
         whenever the substrate revision moves (artifact installation),
         and available for explicit use after hand-mutating pipeline
         state.
+
+        When drift detection is configured (:meth:`configure_drift`),
+        the pinned probe queries run against the *candidate* view before
+        the swap and the comparison against the pinned baseline is
+        exported as ``serving.reload.drift.*`` gauges.  With
+        ``enforce_drift=True`` (the ``POST /admin/reload`` path) and a
+        configured ``max_drift``, churn above the threshold raises
+        :class:`~repro.obs.quality.DriftExceeded` *without* swapping --
+        the old view keeps serving, and automatic staleness refreshes
+        hold it pinned until a forced reload or another substrate
+        change.
         """
         view = ServingView(
             self._store,
@@ -179,9 +215,115 @@ class Pipeline:
             w_matching=self.w_matching,
             result_cache_size=self.result_cache_size,
         )
+        candidate_rankings: Optional[Dict[str, Dict[str, tuple]]] = None
+        if self._drift_config is not None and self._drift_baseline is not None:
+            config = self._drift_config
+            with span("serving.reload.drift", functions=len(config["functions"])):
+                candidate_rankings = self._probe_rankings(view)
+                report = evaluate_drift(
+                    self._drift_baseline, candidate_rankings, k=config["k"]
+                )
+            self.last_drift_report = report
+            export_drift_gauges(report)
+            get_registry().counter("serving.reload.drift.checks").inc()
+            max_drift = config["max_drift"]
+            if (
+                enforce_drift
+                and max_drift is not None
+                and report.exceeds(max_drift)
+            ):
+                get_registry().counter("serving.reload.drift.refused").inc()
+                self._drift_hold_revision = self._store.revision
+                raise DriftExceeded(report, max_drift)
         self._serving = view
+        self._drift_hold_revision = None
+        if candidate_rankings is not None:
+            # The swap went through: the candidate's rankings become the
+            # pinned baseline the *next* reload is compared against.
+            self._drift_baseline = candidate_rankings
         get_registry().counter("serving.view.refresh").inc()
         return view
+
+    # -- reload drift detection ------------------------------------------------------
+
+    def configure_drift(
+        self,
+        probe_queries: Sequence[str],
+        functions: Sequence[str] = ("text",),
+        paper_set_name: str = "text",
+        selection_strategy: str = "probe",
+        k: int = 10,
+        max_drift: Optional[float] = None,
+    ) -> DriftReport:
+        """Pin a probe-query set for reload drift detection.
+
+        Runs every probe query through the *current* serving view for
+        every listed score function and pins the rankings as the
+        baseline future :meth:`refresh` calls are compared against
+        (``serving.reload.drift.*`` gauges; per-function mean
+        Jaccard@k / Kendall tau and result-set churn).  ``max_drift``
+        in ``[0, 1]`` arms the gate: an *enforced* refresh whose worst
+        per-query churn exceeds it is refused.  Returns the zero-drift
+        report of the baseline against itself (shape documentation for
+        callers).
+        """
+        from repro import scoring
+
+        probes = [query for query in probe_queries if query and query.strip()]
+        if not probes:
+            raise ValueError("need at least one non-empty probe query")
+        registered = scoring.function_names()
+        unknown = [fn for fn in functions if fn not in registered]
+        if unknown:
+            raise ValueError(
+                f"unknown probe function(s) {unknown}; registered: "
+                f"{tuple(registered)}"
+            )
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if max_drift is not None and not 0.0 <= max_drift <= 1.0:
+            raise ValueError(
+                f"max_drift must be in [0, 1], got {max_drift}"
+            )
+        self._drift_config = {
+            "probe_queries": tuple(probes),
+            "functions": tuple(dict.fromkeys(functions)),
+            "paper_set_name": paper_set_name,
+            "selection_strategy": selection_strategy,
+            "k": k,
+            "max_drift": max_drift,
+        }
+        self._drift_baseline = self._probe_rankings(self._view())
+        self._drift_hold_revision = None
+        report = evaluate_drift(self._drift_baseline, self._drift_baseline, k=k)
+        self.last_drift_report = report
+        return report
+
+    def _probe_rankings(
+        self, view: ServingView
+    ) -> Dict[str, Dict[str, tuple]]:
+        """``{function: {query: top-k ids}}`` straight off a view's engines.
+
+        Bypasses the result cache and request telemetry on purpose:
+        probe traffic is synthetic and must neither warm the serving
+        cache nor count into live query analytics.
+        """
+        config = self._drift_config
+        assert config is not None
+        rankings: Dict[str, Dict[str, tuple]] = {}
+        for function in config["functions"]:
+            engine = view.engine(
+                function, config["paper_set_name"],
+                config["selection_strategy"],
+            )
+            rankings[function] = {
+                query: tuple(
+                    hit.paper_id
+                    for hit in engine.search(query, limit=config["k"])
+                )
+                for query in config["probe_queries"]
+            }
+        return rankings
 
     def invalidate_serving_caches(self) -> None:
         """Drop memoised search engines and cached search results.
@@ -495,6 +637,13 @@ class Pipeline:
                 request.cache(hit=cached is not None)
                 if cached is not None:
                     trace.set(cache="hit", hits=len(cached))
+                    # Hit count and top score land on the record either
+                    # way -- the analytics aggregator must see cache
+                    # hits too, or the zero-result rate would only
+                    # reflect cache misses.
+                    request.set(hits=len(cached))
+                    if cached:
+                        request.set(top_score=cached[0].relevancy)
                     return cached
             engine = view.engine(function, paper_set_name, selection_strategy)
             hits = engine.search(
@@ -504,6 +653,8 @@ class Pipeline:
                 trace.set(cache="miss")
                 cache.put(key, hits)
             request.set(hits=len(hits))
+            if hits:
+                request.set(top_score=hits[0].relevancy)
             return hits
 
     @staticmethod

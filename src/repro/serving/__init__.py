@@ -8,6 +8,7 @@ atomically; :class:`~repro.serving.service.SearchService` puts the view
 behind HTTP search endpoints with admission control (``repro serve``).
 """
 
+from repro.serving.analytics import QueryAnalytics, ShadowScorer
 from repro.serving.service import (
     AdmissionController,
     AdmissionRejected,
@@ -19,7 +20,9 @@ from repro.serving.view import SearchResultCache, ServingView
 __all__ = [
     "AdmissionController",
     "AdmissionRejected",
+    "QueryAnalytics",
     "SearchService",
+    "ShadowScorer",
     "SubstrateStore",
     "SearchResultCache",
     "ServingView",

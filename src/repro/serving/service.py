@@ -53,8 +53,10 @@ from repro.core.search import (
     SearchHit,
     SELECTION_STRATEGIES,
 )
-from repro.obs import get_registry
+from repro.obs import get_registry, get_telemetry
+from repro.obs.quality import DriftExceeded
 from repro.obs.server import ExpositionServer, Response, json_response
+from repro.serving.analytics import QueryAnalytics, ShadowScorer
 
 __all__ = [
     "AdmissionController",
@@ -265,10 +267,14 @@ class SearchService(ExpositionServer):
     """
 
     #: (method, path) -> (endpoint label, admission-controlled?).
+    #: ``/ready`` and ``/analytics`` are observability routes: exempt
+    #: from admission like the inherited scrape endpoints.
     ROUTES: Dict[Tuple[str, str], Tuple[str, bool]] = {
         ("GET", "/search"): ("search", True),
         ("GET", "/search_grouped"): ("search_grouped", True),
         ("GET", "/explain"): ("explain", True),
+        ("GET", "/ready"): ("ready", False),
+        ("GET", "/analytics"): ("analytics", False),
         ("POST", "/admin/reload"): ("reload", False),
     }
 
@@ -282,6 +288,12 @@ class SearchService(ExpositionServer):
         retry_after_s: float = 1.0,
         collectors: Optional[Sequence[Callable[[], Any]]] = None,
         health_info: Optional[Callable[[], Dict[str, Any]]] = None,
+        analytics: Optional[QueryAnalytics] = None,
+        shadow_functions: Sequence[str] = (),
+        shadow_sample_rate: float = 0.1,
+        shadow_k: int = 10,
+        shadow_seed: Optional[int] = None,
+        ready_max_age_s: Optional[float] = None,
     ) -> None:
         self.pipeline = pipeline
         self.admission = AdmissionController(
@@ -289,8 +301,25 @@ class SearchService(ExpositionServer):
             queue_depth=queue_depth,
             retry_after_s=retry_after_s,
         )
+        self.analytics = (
+            analytics if analytics is not None else QueryAnalytics()
+        )
+        self.shadow: Optional[ShadowScorer] = (
+            ShadowScorer(
+                pipeline,
+                shadow_functions,
+                sample_rate=shadow_sample_rate,
+                k=shadow_k,
+                seed=shadow_seed,
+            )
+            if shadow_functions else None
+        )
+        self.ready_max_age_s = ready_max_age_s
         if collectors is None:
-            collectors = [lambda: pipeline.serving_view.export_gauges()]
+            collectors = [
+                lambda: pipeline.serving_view.export_gauges(),
+                self.analytics.export_gauges,
+            ]
         if health_info is None:
             health_info = self._default_health_info
         super().__init__(
@@ -306,6 +335,23 @@ class SearchService(ExpositionServer):
             "papers": len(self.pipeline.corpus),
             "in_flight": self.admission.in_flight,
         }
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def start(self) -> "SearchService":
+        super().start()
+        # Feed the analytics window from the telemetry finish hook; the
+        # listener is idempotent to add and detached again on stop.
+        get_telemetry().add_listener(self.analytics.observe)
+        if self.shadow is not None:
+            self.shadow.start()
+        return self
+
+    def stop(self) -> None:
+        get_telemetry().remove_listener(self.analytics.observe)
+        if self.shadow is not None:
+            self.shadow.stop()
+        super().stop()
 
     # -- routing ---------------------------------------------------------------------
 
@@ -360,6 +406,7 @@ class SearchService(ExpositionServer):
         top_k = _int(params, "top_k", default=10)
         threshold = _float(params, "threshold", default=0.0)
         contexts = params.get("context") or None
+        view = self.pipeline.serving_view
         hits = self.pipeline.search(
             query,
             function=function,
@@ -369,6 +416,18 @@ class SearchService(ExpositionServer):
             selection_strategy=strategy,
             contexts=contexts,
         )
+        if self.shadow is not None and contexts is None:
+            # Context-restricted searches are skipped: a shadow ranking
+            # over *all* contexts would not be comparing like with like.
+            self.shadow.offer(
+                query=query,
+                function=function,
+                paper_set=paper_set,
+                strategy=strategy,
+                threshold=threshold,
+                primary_ids=[hit.paper_id for hit in hits],
+                view=view,
+            )
         return json_response(
             {
                 "query": query,
@@ -448,8 +507,63 @@ class SearchService(ExpositionServer):
         payload["paper_set"] = paper_set
         return json_response(payload)
 
-    def _handle_reload(self, params: Dict[str, List[str]]) -> Response:
-        view = self.pipeline.refresh()
+    def _handle_ready(self, params: Dict[str, List[str]]) -> Response:
+        """Readiness probe: can this process answer searches *right now*?
+
+        Distinct from the inherited ``/health`` liveness route (which
+        answers 200 while the process runs): readiness checks that a
+        serving view is present and -- when ``ready_max_age_s`` is set
+        -- young enough, and reports the substrate revision so a rollout
+        can tell a served-but-stale replica (e.g. one pinned by a
+        refused drift-gated reload) from a fresh one.  Not ready = 503.
+        """
+        view = self.pipeline._serving  # raw slot: a probe never triggers builds
+        info: Dict[str, Any] = {
+            "view_present": view is not None,
+            "view_revision": None if view is None else view.revision,
+            "view_age_s": (
+                None if view is None else round(view.age_seconds, 3)
+            ),
+            "max_age_s": self.ready_max_age_s,
+            "substrate_revision": self.pipeline.substrates.revision,
+        }
+        ready = view is not None
+        if ready and self.ready_max_age_s is not None:
+            ready = view.age_seconds <= self.ready_max_age_s
+        info["ready"] = ready
+        return json_response(info, status=200 if ready else 503)
+
+    def _handle_analytics(self, params: Dict[str, List[str]]) -> Response:
+        """Windowed query analytics + shadow agreement + last reload drift."""
+        report = self.pipeline.last_drift_report
         return json_response(
-            {"status": "reloaded", "view_revision": view.revision}
+            {
+                "analytics": self.analytics.snapshot(),
+                "shadow": (
+                    None if self.shadow is None else self.shadow.snapshot()
+                ),
+                "drift": None if report is None else report.to_dict(),
+            }
         )
+
+    def _handle_reload(self, params: Dict[str, List[str]]) -> Response:
+        force = _one(params, "force", "0") in ("1", "true", "yes")
+        try:
+            view = self.pipeline.refresh(enforce_drift=not force)
+        except DriftExceeded as exceeded:
+            return json_response(
+                {
+                    "status": "refused",
+                    "error": str(exceeded),
+                    "max_drift": exceeded.max_drift,
+                    "drift": exceeded.report.to_dict(),
+                },
+                status=409,
+            )
+        payload: Dict[str, Any] = {
+            "status": "reloaded", "view_revision": view.revision,
+        }
+        report = self.pipeline.last_drift_report
+        if report is not None:
+            payload["drift"] = report.to_dict()
+        return json_response(payload)

@@ -65,16 +65,11 @@ class SparseVector:
         denominator = na * nb
         if denominator == 0.0 or math.isinf(denominator):
             # The norm product under/overflowed (subnormal or huge
-            # weights): normalise each factor before multiplying instead.
-            a, b = self.weights, other.weights
-            if len(a) > len(b):
-                a, b = b, a
-                na, nb = nb, na
-            value = sum(
-                (weight / na) * (b[term] / nb)
-                for term, weight in a.items()
-                if term in b
-            )
+            # weights).  Dividing raw weights by a subnormal norm loses
+            # almost every bit of precision, so normalise each vector via
+            # ``normalized()`` (which rescales by the peak magnitude into
+            # a well-conditioned range first) and dot the unit vectors.
+            value = self.normalized().dot(other.normalized())
         else:
             value = self.dot(other) / denominator
         # Guard against floating point drift pushing past 1.

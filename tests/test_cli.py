@@ -399,6 +399,76 @@ class TestObsTelemetry:
         assert "search-latency-p95" in output
         assert "OK" in output or "VIOLATED" in output or "no data" in output
 
+    def test_obs_slowlog_json_format(self, telemetry_dump, capsys):
+        code = main([
+            "obs", "slowlog", "--file", str(telemetry_dump),
+            "--format", "json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        (entry,) = payload["slowlog"]
+        assert entry["kind"] == "search_many"
+        assert entry["spans"]["name"] == "request.search_many"
+
+    def test_obs_slo_json_format(self, telemetry_dump, capsys):
+        code = main([
+            "obs", "slo", "--file", str(telemetry_dump), "--format", "json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {status["name"] for status in payload["slo"]}
+        assert {"search-latency-p95", "search-errors"} <= names
+
+    def _analytics_payload(self):
+        return {
+            "analytics": {
+                "window_s": 600.0, "queries": 4, "qps": 0.5,
+                "zero_results": 1, "counted_results": 4,
+                "zero_result_rate": 0.25,
+                "by_kind": {"search": 4},
+                "by_function": {"text": 4},
+            },
+            "shadow": {
+                "functions": ["citation"], "sample_rate": 1.0, "k": 10,
+                "agreement": {
+                    "citation": {
+                        "samples": 2, "mean_jaccard": 0.9,
+                        "mean_kendall_tau": 0.8,
+                    },
+                },
+            },
+            "drift": None,
+        }
+
+    def test_obs_analytics_renders_saved_payload(self, tmp_path, capsys):
+        saved = tmp_path / "analytics.json"
+        saved.write_text(
+            json.dumps(self._analytics_payload()), encoding="utf-8"
+        )
+        code = main(["obs", "analytics", "--file", str(saved)])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "zero-result rate" in output and "25.00%" in output
+        assert "citation" in output and "jaccard=0.900" in output
+
+    def test_obs_analytics_json_format_round_trips(self, tmp_path, capsys):
+        saved = tmp_path / "analytics.json"
+        saved.write_text(
+            json.dumps(self._analytics_payload()), encoding="utf-8"
+        )
+        code = main([
+            "obs", "analytics", "--file", str(saved), "--format", "json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["analytics"]["zero_result_rate"] == 0.25
+        assert payload["shadow"]["agreement"]["citation"]["samples"] == 2
+
+    def test_obs_analytics_requires_exactly_one_source(self, capsys):
+        code = main(["obs", "analytics"])
+        assert code == 1
+        assert "exactly one" in capsys.readouterr().err
+
     def test_custom_slo_spec_flows_into_dump(
         self, data_dir, tmp_path, capsys
     ):

@@ -1,0 +1,151 @@
+"""Rank-agreement math and reload drift evaluation (`repro.obs.quality`).
+
+Pure-function layer: Jaccard@k / Kendall tau edge cases, the
+``compare_rankings`` wrapper, ``evaluate_drift`` over per-function probe
+rankings, and the gauge export the reload path publishes.
+"""
+
+import pytest
+
+from repro.obs import get_registry
+from repro.obs.quality import (
+    DriftExceeded,
+    RankAgreement,
+    compare_rankings,
+    evaluate_drift,
+    export_drift_gauges,
+    jaccard_at_k,
+    kendall_tau_at_k,
+)
+
+
+class TestJaccard:
+    def test_identical_rankings(self):
+        assert jaccard_at_k(["a", "b", "c"], ["a", "b", "c"]) == 1.0
+
+    def test_order_does_not_matter(self):
+        assert jaccard_at_k(["a", "b", "c"], ["c", "b", "a"]) == 1.0
+
+    def test_disjoint_rankings(self):
+        assert jaccard_at_k(["a", "b"], ["c", "d"]) == 0.0
+
+    def test_partial_overlap(self):
+        # intersection {b, c} = 2, union {a, b, c, d} = 4
+        assert jaccard_at_k(["a", "b", "c"], ["b", "c", "d"]) == 0.5
+
+    def test_both_empty_is_full_agreement(self):
+        assert jaccard_at_k([], []) == 1.0
+
+    def test_one_empty_is_zero(self):
+        assert jaccard_at_k(["a"], []) == 0.0
+        assert jaccard_at_k([], ["a"]) == 0.0
+
+    def test_k_truncates_before_comparing(self):
+        assert jaccard_at_k(["a", "b", "x"], ["a", "b", "y"], k=2) == 1.0
+
+
+class TestKendallTau:
+    def test_same_order_is_plus_one(self):
+        assert kendall_tau_at_k(["a", "b", "c"], ["a", "b", "c"]) == 1.0
+
+    def test_reversed_order_is_minus_one(self):
+        assert kendall_tau_at_k(["a", "b", "c"], ["c", "b", "a"]) == -1.0
+
+    def test_tau_over_intersection_only(self):
+        # Shared ids {a, c} keep their relative order despite noise ids.
+        assert kendall_tau_at_k(["a", "b", "c"], ["x", "a", "c", "y"]) == 1.0
+
+    def test_undefined_below_two_common_ids(self):
+        assert kendall_tau_at_k(["a", "b"], ["a", "x"]) is None
+        assert kendall_tau_at_k([], []) is None
+
+    def test_mixed_order(self):
+        # pairs: (a,b) concordant? primary a<b, shadow b<a -> discordant;
+        # (a,c): concordant; (b,c): concordant => (2-1)/3
+        value = kendall_tau_at_k(["a", "b", "c"], ["b", "a", "c"])
+        assert value == pytest.approx(1.0 / 3.0)
+
+
+class TestCompareRankings:
+    def test_returns_agreement_with_churn(self):
+        agreement = compare_rankings(["a", "b"], ["a", "x"], k=2)
+        assert isinstance(agreement, RankAgreement)
+        assert agreement.jaccard == pytest.approx(1.0 / 3.0)
+        assert agreement.churn == pytest.approx(2.0 / 3.0)
+        assert agreement.primary_count == 2
+        assert agreement.shadow_count == 2
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError, match="k"):
+            compare_rankings(["a"], ["a"], k=0)
+
+    def test_to_dict_round_trips(self):
+        payload = compare_rankings(["a"], ["a"], k=5).to_dict()
+        assert payload["jaccard"] == 1.0
+        assert payload["k"] == 5
+
+
+class TestEvaluateDrift:
+    def test_identical_rankings_report_zero_drift(self):
+        rankings = {"text": {"q1": ("a", "b"), "q2": ("c",)}}
+        report = evaluate_drift(rankings, rankings, k=10)
+        assert report.max_churn == 0.0
+        assert not report.exceeds(0.0)
+        fn = report.functions[0]
+        assert fn.function == "text"
+        assert fn.queries == 2
+        assert fn.worst_query is None
+
+    def test_regression_produces_churn_and_worst_query(self):
+        baseline = {"text": {"q1": ("a", "b"), "q2": ("c", "d")}}
+        candidate = {"text": {"q1": ("a", "b"), "q2": ("x", "y")}}
+        report = evaluate_drift(baseline, candidate, k=10)
+        fn = report.functions[0]
+        assert fn.max_churn == 1.0
+        assert fn.worst_query == "q2"
+        assert report.max_churn == 1.0
+        assert report.exceeds(0.5)
+        assert not report.exceeds(1.0)
+
+    def test_missing_candidate_probe_counts_as_full_churn(self):
+        baseline = {"text": {"q1": ("a",)}}
+        report = evaluate_drift(baseline, {"text": {}}, k=10)
+        assert report.max_churn == 1.0
+
+    def test_empty_baseline_is_zero_drift(self):
+        report = evaluate_drift({}, {}, k=10)
+        assert report.max_churn == 0.0
+        assert list(report.functions) == []
+        assert not report.exceeds(0.0)
+
+    def test_to_dict_shape(self):
+        rankings = {"text": {"q": ("a",)}}
+        payload = evaluate_drift(rankings, rankings, k=3).to_dict()
+        assert payload["k"] == 3
+        assert payload["max_churn"] == 0.0
+        assert payload["functions"][0]["function"] == "text"
+
+    def test_drift_exceeded_carries_the_report(self):
+        baseline = {"text": {"q": ("a",)}}
+        report = evaluate_drift(baseline, {"text": {"q": ("b",)}}, k=10)
+        error = DriftExceeded(report, 0.2)
+        assert error.report is report
+        assert "0.2" in str(error)
+
+
+class TestGaugeExport:
+    def test_export_sets_the_documented_gauges(self):
+        baseline = {"text": {"q": ("a", "b")}, "citation": {"q": ("a", "b")}}
+        candidate = {"text": {"q": ("b", "c")}, "citation": {"q": ("a", "b")}}
+        report = evaluate_drift(baseline, candidate, k=10)
+        export_drift_gauges(report)
+        gauges = {
+            name: value
+            for name, value in get_registry().snapshot()["gauges"].items()
+        }
+        assert gauges["serving.reload.drift.functions"] == 2
+        assert gauges["serving.reload.drift.max_churn"] == pytest.approx(
+            report.max_churn
+        )
+        assert "serving.reload.drift.text.churn" in gauges
+        assert "serving.reload.drift.citation.jaccard" in gauges

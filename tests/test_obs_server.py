@@ -60,6 +60,57 @@ class TestRenderPrometheus:
         assert "quantile=" not in text
         assert "search_run_latency_count 0" in text
 
+    def test_render_under_concurrent_metric_updates(self):
+        """Scraping while writers race must neither raise nor emit
+        malformed 0.0.4 text (every sample line parses as name value)."""
+        import re
+        import threading
+
+        registry = get_registry()
+        stop = threading.Event()
+        failures = []
+
+        def writer(index):
+            function = f"fn{index}"
+            counter = registry.counter("search.request.queries")
+            gauge = registry.gauge("serving.view.revision")
+            histogram = registry.histogram(
+                f"search.shadow.{function}.jaccard"
+            )
+            value = 0
+            while not stop.is_set():
+                counter.inc()
+                gauge.set(value)
+                histogram.observe((value % 100) / 100.0)
+                value += 1
+
+        sample_re = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9eE.+-]+$"
+        )
+        writers = [
+            threading.Thread(target=writer, args=(i,), daemon=True)
+            for i in range(4)
+        ]
+        for thread in writers:
+            thread.start()
+        try:
+            for _ in range(50):
+                try:
+                    text = render_prometheus(registry.snapshot())
+                except Exception as error:  # noqa: BLE001 - the assertion
+                    failures.append(f"render raised: {error!r}")
+                    break
+                for line in text.splitlines():
+                    if not line or line.startswith("#"):
+                        continue
+                    if not sample_re.match(line):
+                        failures.append(f"malformed sample line: {line!r}")
+        finally:
+            stop.set()
+            for thread in writers:
+                thread.join(timeout=5)
+        assert not failures, failures[:5]
+
 
 def _get(server, path):
     url = f"http://{server.host}:{server.port}{path}"

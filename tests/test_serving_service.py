@@ -360,6 +360,148 @@ class TestReload:
         assert reloads > 0  # the reloader actually raced the searchers
 
 
+class TestReadiness:
+    def test_ready_reports_live_view(self, pipeline, service):
+        status, _, body = _request(service, "/ready")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["ready"] is True
+        assert payload["view_present"] is True
+        assert payload["view_revision"] == pipeline.serving_view.revision
+        assert payload["substrate_revision"] == pipeline.substrates.revision
+        assert payload["max_age_s"] is None
+        assert payload["view_age_s"] >= 0.0
+
+    def test_stale_view_fails_readiness(self, pipeline):
+        live = SearchService(pipeline, port=0, ready_max_age_s=0.0).start()
+        try:
+            time.sleep(0.05)  # any nonzero age exceeds a 0.0 budget
+            status, _, body = _request(live, "/ready")
+        finally:
+            live.stop()
+        payload = json.loads(body)
+        assert status == 503
+        assert payload["ready"] is False
+        assert payload["view_present"] is True
+
+    def test_fresh_view_passes_generous_age_budget(self, pipeline):
+        pipeline.refresh()
+        live = SearchService(pipeline, port=0, ready_max_age_s=3600.0).start()
+        try:
+            status, _, body = _request(live, "/ready")
+        finally:
+            live.stop()
+        assert status == 200
+        assert json.loads(body)["max_age_s"] == 3600.0
+
+
+class TestAnalyticsEndpoint:
+    def test_analytics_reports_live_traffic_and_shadow_agreement(
+        self, pipeline
+    ):
+        # Telemetry must be on before start(): the analytics listener
+        # registers against the telemetry instance live at start time.
+        configure_telemetry(enabled=True, sample_rate=0.0, seed=3)
+        live = SearchService(
+            pipeline, port=0,
+            shadow_functions=["citation"], shadow_sample_rate=1.0,
+            shadow_seed=3,
+        ).start()
+        try:
+            assert _request(live, "/search", q=QUERIES[0])[0] == 200
+            assert _request(live, "/search", q="zzzz qqqq vvvv")[0] == 200
+            assert live.shadow.drain(timeout_s=30.0)
+            status, _, body = _request(live, "/analytics")
+        finally:
+            live.stop()
+        payload = json.loads(body)
+        assert status == 200
+        analytics = payload["analytics"]
+        assert analytics["queries"] == 2
+        assert analytics["zero_results"] == 1
+        assert analytics["zero_result_rate"] == 0.5
+        agreement = payload["shadow"]["agreement"]["citation"]
+        assert agreement["samples"] >= 1
+        assert 0.0 <= agreement["mean_jaccard"] <= 1.0
+        assert payload["drift"] is None  # drift never configured here
+
+    def test_analytics_without_shadow_or_traffic(self, service):
+        status, _, body = _request(service, "/analytics")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["shadow"] is None
+        assert payload["analytics"]["queries"] == 0
+
+
+class TestDriftGatedReload:
+    PROBES = (QUERIES[0], QUERIES[3])
+
+    @staticmethod
+    def _invert_text_scores(target, query):
+        from repro.core.scores import PrestigeScores
+
+        store = target._store
+        engine = target.serving_view.engine("text", "text", "probe")
+        top_ids = {hit.paper_id for hit in engine.search(query, limit=5)}
+        old = store.scores["text/text"]
+        perturbed = {
+            ctx: {
+                pid: (0.001 if pid in top_ids else value + 10.0)
+                for pid, value in old.of(ctx).items()
+            }
+            for ctx in old.context_ids()
+        }
+        store.install_scores("text/text", PrestigeScores("text", perturbed))
+
+    def test_reload_without_drift_config_has_no_drift_key(self, service):
+        status, _, body = _request(service, "/admin/reload", method="POST")
+        assert status == 200
+        assert "drift" not in json.loads(body)
+
+    def test_drift_gated_reload_flow_over_http(self):
+        # Own pipeline: this test mutates the substrate store.
+        target = build_demo_pipeline(seed=7, n_papers=120, n_terms=30)
+        live = SearchService(target, port=0).start()
+        try:
+            target.configure_drift(
+                self.PROBES, functions=["text"], max_drift=0.2
+            )
+
+            # Identical substrate: reload swaps and reports zero drift.
+            status, _, body = _request(live, "/admin/reload", method="POST")
+            payload = json.loads(body)
+            assert status == 200
+            assert payload["status"] == "reloaded"
+            assert payload["drift"]["max_churn"] == 0.0
+
+            # Injected ranking regression: refused with the report.
+            self._invert_text_scores(target, self.PROBES[0])
+            view_before = target._serving
+            status, _, body = _request(live, "/admin/reload", method="POST")
+            payload = json.loads(body)
+            assert status == 409
+            assert payload["status"] == "refused"
+            assert payload["max_drift"] == 0.2
+            assert payload["drift"]["max_churn"] > 0.2
+            assert target._serving is view_before
+
+            # The pinned old view keeps serving searches.
+            status, _, _ = _request(live, "/search", q=self.PROBES[0])
+            assert status == 200
+            assert target._serving is view_before
+
+            # force=1 pushes the swap through.
+            status, _, body = _request(
+                live, "/admin/reload", method="POST", force=1
+            )
+            payload = json.loads(body)
+            assert status == 200
+            assert payload["status"] == "reloaded"
+            assert target._serving is not view_before
+        finally:
+            live.stop()
+
+
 class TestMetricsExposition:
     def test_fresh_view_scrape_skips_unobserved_hit_rate(
         self, pipeline, service

@@ -13,8 +13,10 @@ Gates:
   **at or above** its floor (``benchmarks/test_perf_query_serving.py``);
 - ``BENCH_obs_overhead.json`` -- the telemetry-disabled fast path must
   stay **at or below** 2% overhead versus a stripped baseline, and the
-  sampled-tracing path at or below 10%
-  (``benchmarks/test_perf_obs_overhead.py``);
+  sampled-tracing path at or below 10%; likewise shadow scoring with
+  sampling off must stay at or below 2% of the no-shadow serving loop
+  and 10% shadow sampling (including draining the re-scoring backlog)
+  at or below its budget (``benchmarks/test_perf_obs_overhead.py``);
 - ``BENCH_index_backend.json`` -- the ondisk backend's cold open
   (mmap + header parse) must stay **at or above** 10x faster than the
   memory backend's full-parse load
@@ -113,6 +115,26 @@ GATES = (
         default_floor=10.0,
         direction="max",
         label="sampled-tracing overhead",
+        unit="%",
+        hint="see benchmarks/test_perf_obs_overhead.py",
+    ),
+    Gate(
+        payload="BENCH_obs_overhead.json",
+        metric="shadow_disabled_overhead_pct",
+        floor_key="shadow_disabled_floor_pct",
+        default_floor=2.0,
+        direction="max",
+        label="shadow-disabled serving overhead",
+        unit="%",
+        hint="see benchmarks/test_perf_obs_overhead.py",
+    ),
+    Gate(
+        payload="BENCH_obs_overhead.json",
+        metric="shadow_sampled_overhead_pct",
+        floor_key="shadow_sampled_floor_pct",
+        default_floor=50.0,
+        direction="max",
+        label="shadow-sampled serving overhead",
         unit="%",
         hint="see benchmarks/test_perf_obs_overhead.py",
     ),

@@ -1,16 +1,26 @@
 #!/usr/bin/env python3
-"""Closed-loop HTTP load generator for the repro search service.
+"""Closed- and open-loop HTTP load generator for the repro search service.
 
-N client threads each run a closed loop against ``GET /search``: issue a
-request, wait for the response, immediately issue the next -- so offered
-load adapts to what the service sustains (the standard way to measure
-*max sustainable* throughput, as opposed to an open-loop generator that
-measures queueing collapse).  Two phases:
+**Closed loop** (default): N client threads each run a closed loop
+against ``GET /search`` -- issue a request, wait for the response,
+immediately issue the next -- so offered load adapts to what the service
+sustains (the standard way to measure *max sustainable* throughput).
+Two phases:
 
 1. **warmup** -- same loop, nothing recorded; fills the result cache,
    builds lazy substrates, and gets the thread pool to steady state;
 2. **measurement** -- every request's latency and status is recorded;
    throughput = completed OK requests / measured wall-clock.
+
+**Open loop** (``mode="open"``, requires ``rate``): arrivals are
+scheduled at a constant rate independent of service speed -- arrival
+``i`` fires at ``t0 + i/rate`` -- and each latency is measured from the
+*scheduled* arrival time, not from when a worker thread got around to
+sending it.  A closed loop silently stops offering load while the
+service is slow, hiding queueing delay behind stalled clients
+(*coordinated omission*); the open loop keeps the clock honest, so
+latency percentiles at a fixed offered rate reflect what an outside
+arrival process would actually experience.
 
 Usable as a library (``benchmarks/test_perf_serving_http.py`` imports
 :func:`run_load`) and as a CLI against any running service::
@@ -51,6 +61,8 @@ class LoadResult:
 
     clients: int
     duration_s: float
+    mode: str = "closed"
+    offered_rate: Optional[float] = None  # open-loop arrivals per second
     ok: int = 0
     shed: int = 0           # 429 responses
     errors: int = 0         # transport errors or non-200/429 statuses
@@ -74,7 +86,11 @@ class LoadResult:
             value = self.latency_ms(p)
             return "-" if value is None else f"{value:.2f} ms"
 
+        mode = self.mode
+        if self.offered_rate is not None:
+            mode += f" @ {self.offered_rate:g} req/s offered"
         return "\n".join([
+            f"mode                   {mode}",
             f"clients                {self.clients}",
             f"measured window        {self.duration_s:.2f} s",
             f"requests               {self.requests}"
@@ -87,6 +103,8 @@ class LoadResult:
 
     def to_dict(self) -> Dict:
         return {
+            "mode": self.mode,
+            "offered_rate": self.offered_rate,
             "clients": self.clients,
             "duration_s": round(self.duration_s, 3),
             "requests": self.requests,
@@ -133,16 +151,28 @@ def run_load(
     top_k: int = 10,
     score_function: str = "text",
     timeout_s: float = 30.0,
+    mode: str = "closed",
+    rate: Optional[float] = None,
 ) -> LoadResult:
-    """Drive the service with ``clients`` closed loops; see module docs."""
+    """Drive the service with closed or open loops; see module docs."""
     if not queries:
         raise ValueError("need at least one query")
     if clients < 1:
         raise ValueError(f"clients must be >= 1, got {clients}")
+    if mode not in ("closed", "open"):
+        raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
     urls = [
         _search_url(base_url, query, top_k, score_function)
         for query in queries
     ]
+    if mode == "open":
+        if rate is None or rate <= 0.0:
+            raise ValueError("open-loop mode needs rate > 0 (arrivals/s)")
+        return _run_open_loop(
+            urls, clients, duration_s, warmup_s, rate, timeout_s
+        )
+    if rate is not None:
+        raise ValueError("rate only applies to open-loop mode")
     start_barrier = threading.Barrier(clients + 1)
     measure_started = threading.Event()
     stop = threading.Event()
@@ -188,9 +218,73 @@ def run_load(
     return result
 
 
+def _run_open_loop(
+    urls: List[str],
+    clients: int,
+    duration_s: float,
+    warmup_s: float,
+    rate: float,
+    timeout_s: float,
+) -> LoadResult:
+    """Constant-arrival-rate driver; latency clocked from scheduled time.
+
+    ``clients`` worker threads pull arrival indices from a shared
+    counter; arrival ``i`` is due at ``t0 + i/rate``.  A worker that
+    falls behind schedule sends immediately, and the lateness stays in
+    the recorded latency -- that queueing delay is exactly what
+    coordinated omission would otherwise hide.  Arrivals scheduled
+    during the first ``warmup_s`` are issued but not recorded.
+    """
+    total_s = warmup_s + duration_s
+    result = LoadResult(
+        clients=clients, duration_s=duration_s, mode="open", offered_rate=rate
+    )
+    lock = threading.Lock()
+    next_arrival = [0]
+    start_barrier = threading.Barrier(clients + 1)
+    t0_holder: List[float] = []
+
+    def worker() -> None:
+        start_barrier.wait()
+        t0 = t0_holder[0]
+        while True:
+            with lock:
+                index = next_arrival[0]
+                next_arrival[0] += 1
+            scheduled = index / rate
+            if scheduled >= total_s:
+                return
+            delay = t0 + scheduled - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            status = _one_request(urls[index % len(urls)], timeout_s)
+            completed = time.perf_counter() - t0
+            if scheduled < warmup_s:
+                continue
+            with lock:
+                if status == 200:
+                    result.ok += 1
+                    result.latencies_s.append(completed - scheduled)
+                elif status == 429:
+                    result.shed += 1
+                else:
+                    result.errors += 1
+
+    threads = [
+        threading.Thread(target=worker, daemon=True) for _ in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    t0_holder.append(time.perf_counter())
+    start_barrier.wait()
+    for thread in threads:
+        thread.join(timeout=total_s + timeout_s + 5.0)
+    return result
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
-        description="closed-loop load generator for the repro search service"
+        description="closed-/open-loop load generator for the repro search service"
     )
     parser.add_argument(
         "--base-url", required=True, help="e.g. http://127.0.0.1:8977"
@@ -208,7 +302,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--warmup", type=float, default=1.0, metavar="S")
     parser.add_argument("--top-k", type=int, default=10)
     parser.add_argument("--score-function", default="text")
+    parser.add_argument(
+        "--mode", choices=("closed", "open"), default="closed",
+        help="closed = max-throughput loops; open = constant arrival rate",
+    )
+    parser.add_argument(
+        "--rate", type=float, default=None, metavar="QPS",
+        help="offered arrivals per second (open-loop mode only)",
+    )
     args = parser.parse_args(argv)
+    if args.mode == "open" and (args.rate is None or args.rate <= 0):
+        parser.error("--mode open requires --rate > 0")
 
     queries = list(args.query or [])
     if args.queries_file:
@@ -229,6 +333,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         warmup_s=args.warmup,
         top_k=args.top_k,
         score_function=args.score_function,
+        mode=args.mode,
+        rate=args.rate,
     )
     print(result.format_table())
     return 0 if result.errors == 0 else 1
