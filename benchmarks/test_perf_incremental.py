@@ -1,0 +1,128 @@
+"""Time-to-searchable: a 1% corpus delta vs a full rebuild.
+
+The incremental build layer exists so a corpus update does not cost a
+from-scratch pre-processing run.  This bench measures both paths to a
+*searchable* state on the same final corpus:
+
+- **delta** -- a warm pipeline absorbs the new papers through
+  ``SubstrateStore.apply_delta`` (in-place index mutation, exact TF-IDF
+  vocabulary update from retained count maps, canonical graph splice,
+  per-context prestige patching) and answers a probe query;
+- **full rebuild** -- a fresh pipeline on the final corpus computes
+  everything from raw text and answers the same probe.
+
+The corpus is generated with long repeated bodies so the workload is
+tokenisation-dominant -- the regime real literature corpora live in,
+and exactly the cost ``apply_delta`` avoids by re-weighting cached
+per-paper term counts instead of re-analysing text.  The probe ranks
+with ``citation`` prestige on the ``text`` paper set, touching index,
+vectors, assignment, graph, and scores end to end.  Both paths must
+return byte-identical rankings; the delta path must be at least
+``FLOOR``x faster (gated by ``tools/check_bench_regression.py`` via
+``BENCH_incremental_update.json``).
+"""
+
+import dataclasses
+import json
+import time
+
+from conftest import write_result
+
+from repro.corpus.corpus import Corpus
+from repro.datagen import CorpusGenerator, OntologyGenerator
+from repro.pipeline import Pipeline
+
+FLOOR = 20.0
+N_PAPERS = 400
+N_TERMS = 16
+BODY_REPEAT = 80  # long repetitive bodies: tokenisation-dominant corpus
+DELTA_FRACTION = 0.01
+
+
+def _dataset():
+    generator = CorpusGenerator(
+        n_papers=N_PAPERS,
+        ontology_generator=OntologyGenerator(n_terms=N_TERMS, max_depth=4),
+    )
+    dataset = generator.generate(seed=7)
+    papers = [
+        dataclasses.replace(paper, body=" ".join([paper.body] * BODY_REPEAT))
+        for paper in dataset.corpus
+    ]
+    return dataset, papers
+
+
+def _corpus_of(papers):
+    corpus = Corpus()
+    for paper in papers:
+        corpus.add(paper)
+    return corpus
+
+
+def _probe(pipeline, query):
+    hits = pipeline.search(
+        query, function="citation", paper_set_name="text", limit=10,
+        use_cache=False,
+    )
+    return [(h.paper_id, h.relevancy, h.prestige, h.matching) for h in hits]
+
+
+def test_perf_incremental_update(results_dir):
+    dataset, papers = _dataset()
+    n_delta = max(1, int(len(papers) * DELTA_FRACTION))
+    base_papers, added = papers[:-n_delta], papers[-n_delta:]
+    query = " ".join(papers[0].title.split()[:3])
+
+    # Warm pipeline on the pre-delta corpus: index, vectors, graph, text
+    # assignment, and citation prestige all live before the clock starts.
+    warm = Pipeline(
+        corpus=_corpus_of(base_papers),
+        ontology=dataset.ontology,
+        training_papers=dataset.training_papers,
+    )
+    _probe(warm, query)
+
+    started = time.perf_counter()
+    report = warm.add_papers(added)
+    delta_rows = _probe(warm, query)
+    delta_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    scratch = Pipeline(
+        corpus=_corpus_of(papers),
+        ontology=dataset.ontology,
+        training_papers=dataset.training_papers,
+    )
+    scratch_rows = _probe(scratch, query)
+    full_seconds = time.perf_counter() - started
+
+    # Speed means nothing if the delta-reached substrate ranks differently.
+    assert delta_rows == scratch_rows
+    assert report.added == tuple(p.paper_id for p in added)
+
+    speedup = full_seconds / max(delta_seconds, 1e-9)
+    payload = {
+        "papers": len(papers),
+        "delta_papers": n_delta,
+        "delta_seconds": round(delta_seconds, 6),
+        "full_rebuild_seconds": round(full_seconds, 6),
+        "speedup": round(speedup, 3),
+        "floor": FLOOR,
+        "index_rebuilt": report.index_rebuilt,
+        "scores_patched": list(report.scores_patched),
+    }
+    (results_dir / "BENCH_incremental_update.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    table = "\n".join([
+        f"corpus size                {len(papers)} papers "
+        f"(bodies x{BODY_REPEAT})",
+        f"delta size                 {n_delta} papers "
+        f"({DELTA_FRACTION:.0%} of corpus)",
+        f"delta time-to-searchable   {delta_seconds * 1000.0:10.1f} ms",
+        f"full-rebuild to searchable {full_seconds * 1000.0:10.1f} ms",
+        f"speedup                    {speedup:10.1f}x  (floor {FLOOR:.0f}x)",
+        f"scores patched             {', '.join(report.scores_patched) or 'none'}",
+    ])
+    write_result(results_dir, "perf_incremental", table)
+    assert speedup >= FLOOR

@@ -347,6 +347,34 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_generation_lineage(workspace: Path) -> List[str]:
+    """Human-readable generation chain of a workspace, newest first.
+
+    Manifests written before incremental ingestion lack the
+    ``generation`` key and read as a single full-build generation 0.
+    """
+    from repro.workspace.manifest import read_generation_chain
+
+    try:
+        chain = read_generation_chain(workspace)
+    except ValueError as error:
+        return [f"generation lineage: BROKEN ({error})"]
+    if not chain:
+        return []
+    lines = ["generation lineage:"]
+    for payload in chain:
+        generation = int(payload.get("generation", 0))
+        delta = payload.get("delta")
+        if delta is not None:
+            kind = f"delta  +{len(delta['added'])} -{len(delta['removed'])}"
+        else:
+            kind = "full"
+        parent = payload.get("parent")
+        chained = f"  parent {parent[:12]}" if parent else ""
+        lines.append(f"  gen {generation:<3} {kind}{chained}")
+    return lines
+
+
 def _cmd_workspace_status(args: argparse.Namespace) -> int:
     """Show per-artifact freshness of a data directory's workspace."""
     from repro.workspace import workspace_status
@@ -360,6 +388,8 @@ def _cmd_workspace_status(args: argparse.Namespace) -> int:
     stored = index_backends.sniff_backend(_workspace_dir(args.data) / "index.json")
     on_disk = f" (on disk: {stored})" if stored else ""
     print(f"index backend: {pipeline.index_backend}{on_disk}")
+    for line in _format_generation_lineage(_workspace_dir(args.data)):
+        print(line)
     for status in statuses:
         note = f"  ({status.reason})" if status.reason else ""
         print(f"  {status.name:<24} {status.state}{note}")
@@ -369,6 +399,55 @@ def _cmd_workspace_status(args: argparse.Namespace) -> int:
         print(f"{stale} artifact(s) need `repro build`")
         return 1
     print("all artifacts fresh")
+    return 0
+
+
+def _cmd_ingest_delta(args: argparse.Namespace) -> int:
+    """Apply a corpus delta to a built workspace as a new generation."""
+    from repro.corpus.corpus import CorpusError
+    from repro.corpus.io import read_corpus_jsonl
+    from repro.workspace import StaleWorkspaceError, ingest_delta
+
+    if not args.add and not args.remove:
+        print("error: pass --add and/or --remove", file=sys.stderr)
+        return 1
+    added = []
+    if args.add:
+        try:
+            added = list(read_corpus_jsonl(args.add))
+        except (OSError, ValueError, CorpusError) as error:
+            print(f"error: cannot read {args.add}: {error}", file=sys.stderr)
+            return 1
+    pipeline = _load_pipeline(
+        args.data, use_workspace=True, index_backend=args.index_backend
+    )
+    workspace = _workspace_dir(args.data)
+    try:
+        report, build_report = ingest_delta(
+            pipeline, workspace, added_papers=added, removed_ids=args.remove or []
+        )
+    except (CorpusError, StaleWorkspaceError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if build_report is None:
+        print("delta is a no-op; workspace unchanged")
+        return 0
+    out_corpus = args.out_corpus or str(Path(args.data) / CORPUS_FILE)
+    write_corpus_jsonl(pipeline.corpus, out_corpus)
+    from repro.workspace.manifest import read_manifest
+
+    manifest = read_manifest(workspace) or {}
+    print(build_report.format_table())
+    print(
+        f"generation {manifest.get('generation')}: "
+        f"+{len(report.added)} papers, -{len(report.removed)} papers, "
+        f"{len(report.changed_contexts)} paper set(s) with changed contexts"
+    )
+    print(
+        f"scores patched: {', '.join(report.scores_patched) or 'none'}; "
+        f"dropped for lazy recompute: {', '.join(report.scores_dropped) or 'none'}"
+    )
+    print(f"corpus written to {out_corpus}")
     return 0
 
 
@@ -928,6 +1007,37 @@ def build_parser() -> argparse.ArgumentParser:
         "index (see repro.index.backends)",
     )
     ws_status.set_defaults(func=_cmd_workspace_status)
+
+    ingest_delta = subparsers.add_parser(
+        "ingest-delta",
+        help="apply a corpus delta to a built workspace as a new generation",
+        parents=[obs_common],
+    )
+    ingest_delta.add_argument("--data", default="data")
+    ingest_delta.add_argument(
+        "--add",
+        metavar="PAPERS_JSONL",
+        help="JSONL file of papers to add (same format as corpus.jsonl)",
+    )
+    ingest_delta.add_argument(
+        "--remove",
+        action="append",
+        metavar="PAPER_ID",
+        help="paper id to remove; repeatable",
+    )
+    ingest_delta.add_argument(
+        "--out-corpus",
+        metavar="PATH",
+        help="where to write the post-delta corpus "
+        "(default: overwrite <data>/corpus.jsonl)",
+    )
+    ingest_delta.add_argument(
+        "--index-backend",
+        choices=index_backends.backend_names(),
+        default=index_backends.DEFAULT_BACKEND,
+        help="registered index backend used to open the inverted index",
+    )
+    ingest_delta.set_defaults(func=_cmd_ingest_delta)
 
     tune = subparsers.add_parser(
         "tune",

@@ -117,9 +117,19 @@ class TextContextAssigner:
         rep_vector = self.vectors.full_vector(representative)
         candidates: Set[str] = set(training)
         candidates.add(representative)
+        # Rank candidate terms by weight with *term string* tie-breaking:
+        # integer term ids depend on vocabulary fit order, which differs
+        # between a model fitted from scratch and one reached through
+        # incremental corpus deltas, while the strings do not.
         vocabulary = self.vectors.full_model.vocabulary
-        for term_id, _weight in rep_vector.top_terms(self.candidate_terms):
-            term = vocabulary.term_of(term_id)
+        ranked = sorted(
+            (
+                (weight, vocabulary.term_of(term_id))
+                for term_id, weight in rep_vector.weights.items()
+            ),
+            key=lambda item: (-item[0], item[1]),
+        )
+        for _weight, term in ranked[: self.candidate_terms]:
             candidates.update(self.index.papers_containing(term))
         members = []
         for paper_id in sorted(candidates):

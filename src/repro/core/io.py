@@ -106,7 +106,14 @@ def read_context_paper_set(path: PathLike, ontology: Ontology) -> ContextPaperSe
 
 
 def write_prestige_scores(scores: PrestigeScores, path: PathLike) -> None:
-    """Serialise prestige scores (function name + per-context maps)."""
+    """Serialise prestige scores (function name + per-context maps).
+
+    ``pre_propagation`` rides along when the scores carry it, so a
+    workspace-hydrated pipeline keeps the incremental per-context patch
+    path that in-memory scores get (see ``PrestigeScores``).  Files
+    written before the field existed load with ``pre_propagation=None``
+    and fall back to full lazy recompute on delta.
+    """
     payload = {
         "format": _SCORES_FORMAT,
         "function": scores.function_name,
@@ -115,6 +122,11 @@ def write_prestige_scores(scores: PrestigeScores, path: PathLike) -> None:
             for context_id in scores.context_ids()
         },
     }
+    if scores.pre_propagation is not None:
+        payload["pre_propagation"] = {
+            context_id: dict(context_scores)
+            for context_id, context_scores in scores.pre_propagation.items()
+        }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle)
 
@@ -132,7 +144,15 @@ def read_prestige_scores(path: PathLike) -> PrestigeScores:
         context_id: {pid: float(v) for pid, v in scores.items()}
         for context_id, scores in payload["by_context"].items()
     }
-    return PrestigeScores(payload["function"], by_context)
+    pre_propagation = None
+    if "pre_propagation" in payload:
+        pre_propagation = {
+            context_id: {pid: float(v) for pid, v in scores.items()}
+            for context_id, scores in payload["pre_propagation"].items()
+        }
+    return PrestigeScores(
+        payload["function"], by_context, pre_propagation=pre_propagation
+    )
 
 
 # -- workspace substrate codecs ---------------------------------------------------

@@ -132,6 +132,21 @@ class AnalyzedPaperCache:
             for section in TEXT_SECTIONS:
                 self.tokens(paper_id, section)
 
+    def warm_paper(self, paper_id: str) -> None:
+        """Analyse one paper's sections (incremental counterpart of warm)."""
+        for section in TEXT_SECTIONS:
+            self.tokens(paper_id, section)
+
+    def evict_paper(self, paper_id: str) -> None:
+        """Drop one paper's cached token sequences (idempotent).
+
+        Used when a paper leaves the corpus: its entries would otherwise
+        pin dead token tuples and could mask a later re-add with changed
+        text under the same id.
+        """
+        for section in TEXT_SECTIONS:
+            self._cache.pop((paper_id, section), None)
+
     def to_payload(self) -> Dict[str, Dict[str, List[str]]]:
         """JSON-able snapshot of every cached token sequence."""
         papers: Dict[str, Dict[str, List[str]]] = {}

@@ -76,13 +76,26 @@ NORMALIZERS = {
 
 
 class PrestigeScores:
-    """Prestige of every paper in every context, for one score function."""
+    """Prestige of every paper in every context, for one score function.
+
+    ``pre_propagation`` optionally retains the per-context scores as they
+    were *before* hierarchy max-propagation.  Incremental prestige
+    patching needs them: propagation mixes descendant scores into
+    ancestors, so patching a changed context requires re-running the
+    propagation pass over pre-propagation values, not the merged ones.
+    Scores loaded from a workspace artifact carry ``None`` here (the
+    artifact stores only final scores) and fall back to full recompute.
+    """
 
     def __init__(
-        self, function_name: str, by_context: Dict[str, Dict[str, float]]
+        self,
+        function_name: str,
+        by_context: Dict[str, Dict[str, float]],
+        pre_propagation: Optional[Dict[str, Dict[str, float]]] = None,
     ) -> None:
         self.function_name = function_name
         self._by_context = by_context
+        self.pre_propagation = pre_propagation
 
     def of(self, context_id: str) -> Dict[str, float]:
         """``paper_id -> prestige`` within one context (empty if unknown)."""
@@ -187,9 +200,42 @@ class PrestigeScoreFunction(abc.ABC):
                 if context.decay != 1.0:
                     scored = {pid: s * context.decay for pid, s in scored.items()}
                 by_context[context.term_id] = scored
+            pre_propagation = None
             if propagate:
+                pre_propagation = by_context
                 by_context = propagate_max_over_descendants(paper_set, by_context)
             trace.set(contexts_scored=len(by_context), papers_scored=papers_scored)
         registry.counter(f"scores.{metric_name}.contexts_scored").inc(len(by_context))
         registry.counter(f"scores.{metric_name}.papers_scored").inc(papers_scored)
-        return PrestigeScores(self.name, by_context)
+        return PrestigeScores(self.name, by_context, pre_propagation=pre_propagation)
+
+    def score_contexts(
+        self,
+        paper_set: ContextPaperSet,
+        context_ids,
+        normalize: Optional[str] = None,
+    ) -> Dict[str, Dict[str, float]]:
+        """Pre-propagation scores for a subset of contexts.
+
+        The incremental-update path scores only the contexts whose paper
+        sets changed, then merges the result into an existing
+        :attr:`PrestigeScores.pre_propagation` map and re-runs
+        propagation.  Normalisation and decay match :meth:`score_all`
+        exactly.  Contexts that cannot be scored map to an *absent* entry,
+        mirroring ``score_all``'s skip of empty raw scores.
+        """
+        key = normalize if normalize is not None else self.normalization
+        normalizer = NORMALIZERS[key]
+        wanted = set(context_ids)
+        result: Dict[str, Dict[str, float]] = {}
+        for context in paper_set:
+            if context.term_id not in wanted:
+                continue
+            raw = self.score_context(context)
+            if not raw:
+                continue
+            scored = normalizer(raw)
+            if context.decay != 1.0:
+                scored = {pid: s * context.decay for pid, s in scored.items()}
+            result[context.term_id] = scored
+        return result

@@ -13,10 +13,10 @@ heavily, so most papers are vectorised once but consumed many times.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Mapping, Optional, Sequence
 
 from repro.corpus.corpus import Corpus
-from repro.corpus.paper import Section, TEXT_SECTIONS
+from repro.corpus.paper import Paper, Section, TEXT_SECTIONS
 from repro.text.analyze import Analyzer, default_analyzer
 from repro.text.vectorize import SparseVector, TfidfModel, centroid
 
@@ -33,8 +33,32 @@ class PaperVectorStore:
             section: {} for section in TEXT_SECTIONS
         }
         self._full_vectors: Dict[str, SparseVector] = {}
+        # Ordered term->count maps of each paper's full text, keyed in
+        # first-occurrence token order.  Analysis is the dominant cost of
+        # (re)vectorisation; after an incremental IDF update every cached
+        # vector is stale but these counts stay valid, so re-weighting a
+        # paper is O(distinct terms) instead of O(tokens).
+        self._full_counts: Dict[str, Dict[str, int]] = {}
 
     # -- models -----------------------------------------------------------------
+
+    @staticmethod
+    def _ordered_counts(terms: Iterable[str]) -> Dict[str, int]:
+        """Term counts keyed in first-occurrence order of the stream."""
+        counts: Dict[str, int] = {}
+        for term in terms:
+            counts[term] = counts.get(term, 0) + 1
+        return counts
+
+    def full_counts(self, paper_id: str) -> Mapping[str, int]:
+        """Cached ordered term counts of one paper's full text."""
+        counts = self._full_counts.get(paper_id)
+        if counts is None:
+            counts = self._ordered_counts(
+                self.analyzer.analyze(self.corpus.paper(paper_id).all_text())
+            )
+            self._full_counts[paper_id] = counts
+        return counts
 
     def section_model(self, section: Section) -> TfidfModel:
         """The TF-IDF model fit over one section of every corpus paper."""
@@ -50,10 +74,17 @@ class PaperVectorStore:
 
     @property
     def full_model(self) -> TfidfModel:
-        """The TF-IDF model over whole-paper (all sections) text."""
+        """The TF-IDF model over whole-paper (all sections) text.
+
+        Fitting from the ordered count maps assigns the same term ids and
+        document frequencies as fitting from the raw token streams (ids
+        come from first-occurrence order, frequencies from distinct
+        terms), while caching the counts for cheap re-vectorisation.
+        """
         if self._full_model is None:
             model = TfidfModel()
-            model.fit(self.analyzer.analyze(paper.all_text()) for paper in self.corpus)
+            for paper in self.corpus:
+                model.vocabulary.add_document(self.full_counts(paper.paper_id))
             self._full_model = model
         return self._full_model
 
@@ -74,9 +105,7 @@ class PaperVectorStore:
         """Unit TF-IDF vector of the paper's full text."""
         vector = self._full_vectors.get(paper_id)
         if vector is None:
-            vector = self.full_model.vectorize(
-                self.analyzer.analyze(self.corpus.paper(paper_id).all_text())
-            )
+            vector = self.full_model.vectorize_counts(self.full_counts(paper_id))
             self._full_vectors[paper_id] = vector
         return vector
 
@@ -99,6 +128,56 @@ class PaperVectorStore:
     def full_similarity(self, paper_a: str, paper_b: str) -> float:
         """Cosine similarity of whole-paper vectors."""
         return self.full_vector(paper_a).cosine(self.full_vector(paper_b))
+
+    # -- incremental updates ------------------------------------------------------
+
+    def apply_delta(
+        self, added: Sequence[Paper], removed: Sequence[Paper]
+    ) -> None:
+        """Splice a corpus delta into every fitted model.
+
+        ``removed`` takes the :class:`Paper` objects (already popped from
+        the corpus) because their text is needed to reverse the document
+        statistics.  Fitted vocabularies are updated exactly -- removal
+        leaves "ghost" terms with zero document frequency which
+        vectorisation skips, so the updated models produce the same
+        vectors as models fitted from scratch on the surviving papers.
+        Every cached vector is dropped (a corpus-wide IDF shift stales
+        them all); whole-paper vectors rebuild cheaply from the retained
+        count maps.  Models not yet fitted stay lazy and simply see the
+        mutated corpus when first requested.
+        """
+        if self._full_model is not None:
+            vocabulary = self._full_model.vocabulary
+            for paper in removed:
+                counts = self._full_counts.pop(paper.paper_id, None)
+                if counts is None:
+                    counts = self._ordered_counts(
+                        self.analyzer.analyze(paper.all_text())
+                    )
+                vocabulary.remove_document(counts)
+            for paper in added:
+                counts = self._ordered_counts(
+                    self.analyzer.analyze(paper.all_text())
+                )
+                self._full_counts[paper.paper_id] = counts
+                vocabulary.add_document(counts)
+        else:
+            for paper in removed:
+                self._full_counts.pop(paper.paper_id, None)
+        for section, model in self._section_models.items():
+            vocabulary = model.vocabulary
+            for paper in removed:
+                vocabulary.remove_document(
+                    self.analyzer.analyze(paper.section_text(section))
+                )
+            for paper in added:
+                vocabulary.add_document(
+                    self.analyzer.analyze(paper.section_text(section))
+                )
+        for cache in self._section_vectors.values():
+            cache.clear()
+        self._full_vectors.clear()
 
     # -- (de)serialisation --------------------------------------------------------
 

@@ -38,6 +38,20 @@ class Corpus:
         self._papers[paper.paper_id] = paper
         self._invalidate()
 
+    def remove(self, paper_id: str) -> Paper:
+        """Remove and return one paper; unknown ids are an error.
+
+        Later insertions keep their relative order, so a corpus that
+        removes papers and then adds new ones iterates identically to a
+        corpus constructed from the surviving papers in the same order.
+        """
+        try:
+            paper = self._papers.pop(paper_id)
+        except KeyError:
+            raise CorpusError(f"unknown paper id {paper_id!r}") from None
+        self._invalidate()
+        return paper
+
     def _invalidate(self) -> None:
         self._outgoing = None
         self._incoming = None

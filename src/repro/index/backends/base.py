@@ -57,6 +57,16 @@ class SearchBackend(abc.ABC):
     #: queries must be analysed with the same one.
     analyzer: "Analyzer"
 
+    #: Document-level mutation is an *optional capability*.  Backends that
+    #: set this True grow ``add_document(paper)`` / ``remove_document
+    #: (paper_id)`` which update postings in place while preserving the
+    #: postings-order contract and bumping :attr:`revision`.  Backends
+    #: that leave it False (read-optimised formats like the mmap ondisk
+    #: backend) are handled by the documented rebuild-on-mutate fallback:
+    #: the substrate rebuilds them from the mutated corpus via their
+    #: registered ``build`` hook.
+    supports_mutation: bool = False
+
     # -- corpus-level facts --------------------------------------------------------
 
     @property

@@ -39,6 +39,11 @@ class InvertedIndex:
     #: get re-stamped by that backend's ``build``.
     backend_name = "memory"
 
+    #: The memory backend mutates in place (see
+    #: :meth:`add_document`/:meth:`remove_document`); backends that leave
+    #: this False are rebuilt from the corpus when a delta is applied.
+    supports_mutation = True
+
     def __init__(self, analyzer: Optional[Analyzer] = None) -> None:
         self.analyzer = analyzer if analyzer is not None else default_analyzer()
         self._postings: Dict[str, List[Posting]] = {}
@@ -119,6 +124,25 @@ class InvertedIndex:
         self._n_papers -= 1
         self._revision += 1
         self._invalidate_views()
+
+    def add_document(self, paper: Paper) -> None:
+        """Mutation-capability alias of :meth:`index_paper`.
+
+        The :class:`~repro.index.backends.base.SearchBackend` mutation
+        contract (``supports_mutation``) names the operations
+        ``add_document``/``remove_document``; new postings land at the end
+        of each term's list, preserving the postings-order contract, and
+        the mutation revision is bumped.
+        """
+        self.index_paper(paper)
+
+    def remove_document(self, paper_id: str) -> None:
+        """Mutation-capability alias of :meth:`remove_paper`.
+
+        Surviving postings keep their relative order, so the index is
+        byte-equivalent to one that never contained the paper.
+        """
+        self.remove_paper(paper_id)
 
     # -- access --------------------------------------------------------------------
 

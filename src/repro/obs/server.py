@@ -78,7 +78,9 @@ class _Handler(BaseHTTPRequestHandler):
         path = parsed.path.rstrip("/") or "/"
         params = urllib.parse.parse_qs(parsed.query)
         try:
-            response = exposition.dispatch(method, path, params)
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length).decode("utf-8") if length > 0 else None
+            response = exposition.dispatch(method, path, params, body)
             if response is None:
                 response = json_response(
                     {"error": f"no route {method} {path!r}"}, status=404
@@ -162,13 +164,19 @@ class ExpositionServer:
     # -- routing ---------------------------------------------------------------------
 
     def dispatch(
-        self, method: str, path: str, params: Dict[str, List[str]]
+        self,
+        method: str,
+        path: str,
+        params: Dict[str, List[str]],
+        body: Optional[str] = None,
     ) -> Optional[Response]:
         """Map one request to a :class:`Response`; None means 404.
 
         Subclasses add routes by overriding this and delegating unknown
         paths to ``super().dispatch`` -- that is how the search service
-        serves ``/search`` and ``/metrics`` from one listener.
+        serves ``/search`` and ``/metrics`` from one listener.  ``body``
+        carries the decoded request body of a POST (None when absent);
+        the observability routes themselves never read it.
         """
         if method != "GET":
             return None

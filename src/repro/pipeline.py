@@ -332,6 +332,34 @@ class Pipeline:
         """
         self.refresh()
 
+    # -- incremental corpus updates ---------------------------------------------------
+
+    def add_papers(self, papers: Sequence["Paper"]):
+        """Add papers to the corpus, delta-updating every built substrate.
+
+        The incremental counterpart of rebuilding the pipeline on an
+        extended corpus: the index, vectors, citation graph, and context
+        assignments update in place (see
+        :meth:`~repro.serving.substrate.SubstrateStore.apply_delta`), and
+        prestige is recomputed only for contexts whose paper sets
+        changed.  Returns the
+        :class:`~repro.serving.substrate.DeltaReport`.
+
+        The substrate revision bumps once, so the next search observes a
+        fresh serving view (stale result-cache entries and engine memos
+        are unreachable); an armed drift gate applies exactly as it does
+        for any other substrate change.
+        """
+        return self._store.apply_delta(added_papers=papers)
+
+    def remove_papers(self, paper_ids: Sequence[str]):
+        """Remove papers from the corpus, delta-updating built substrates.
+
+        See :meth:`add_papers`; removals and additions can be combined in
+        one atomic delta via ``substrates.apply_delta``.
+        """
+        return self._store.apply_delta(removed_ids=paper_ids)
+
     # -- raw inputs (delegated to the substrate store) ------------------------------
 
     @property

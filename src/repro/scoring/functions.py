@@ -75,6 +75,10 @@ register(
         paper_sets=("text", "pattern"),
         description="per-context PageRank over the induced citation subgraph (3.1)",
         in_overlap=True,
+        # PageRank runs on the subgraph induced by the context's own
+        # paper ids: a delta that leaves a context's paper set unchanged
+        # leaves its induced subgraph -- and its scores -- unchanged.
+        delta_scope="contexts",
     )
 )
 
@@ -96,5 +100,7 @@ register(
         substrates=("citation_graph",),
         paper_sets=(),
         description="per-context HITS authority (3.1 alternative; searchable only)",
+        # Like citation: HITS sees only the context-induced subgraph.
+        delta_scope="contexts",
     )
 )

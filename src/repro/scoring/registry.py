@@ -64,6 +64,17 @@ class ScoreFunctionSpec:
     description: str = ""
     #: Include in the pairwise top-k% overlap experiment (figure 5.3).
     in_overlap: bool = False
+    #: How a corpus delta invalidates this function's computed scores:
+    #:
+    #: - ``"contexts"`` -- per-context scores depend only on structure
+    #:   *induced by the context's own paper set* (e.g. PageRank/HITS on
+    #:   the context's citation subgraph), so contexts whose paper sets
+    #:   did not change keep byte-identical scores and only changed
+    #:   contexts are re-scored;
+    #: - ``"full"`` (the conservative default) -- scores couple to
+    #:   corpus-global statistics (IDF, coverage, co-authorship), so any
+    #:   delta drops the whole memo and the function recomputes lazily.
+    delta_scope: str = "full"
 
     def __post_init__(self) -> None:
         if not _NAME_RE.match(self.name):
@@ -80,6 +91,11 @@ class ScoreFunctionSpec:
                     f"score function {self.name!r}: unknown paper set "
                     f"{paper_set!r}; expected one of {PAPER_SET_NAMES}"
                 )
+        if self.delta_scope not in ("contexts", "full"):
+            raise ValueError(
+                f"score function {self.name!r}: unknown delta_scope "
+                f"{self.delta_scope!r}; expected 'contexts' or 'full'"
+            )
 
     def arms(self) -> List[Tuple[str, str]]:
         """The function's evaluation arms as (function, paper_set) pairs."""

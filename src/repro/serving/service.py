@@ -16,7 +16,11 @@ and searchable at once:
   (``q``, ``paper_id``) pair;
 - ``POST /admin/reload``   -- zero-downtime serving-view swap via
   :meth:`~repro.pipeline.Pipeline.refresh`; searches racing the swap
-  keep serving from the snapshot they grabbed.
+  keep serving from the snapshot they grabbed;
+- ``POST /admin/ingest``   -- incremental corpus delta
+  (JSON body ``{"add": [...], "remove": [...]}``) applied through
+  :meth:`SubstrateStore.apply_delta`, then the same drift-gated view
+  swap as a reload (409 + ``?force=1`` on refusal).
 
 Every search endpoint answers through the *pipeline* (result cache,
 request telemetry, SLO events included), so an HTTP ranking is
@@ -41,6 +45,7 @@ histograms ``serving.http.<endpoint>.latency``, counters
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 from contextlib import contextmanager
@@ -276,7 +281,12 @@ class SearchService(ExpositionServer):
         ("GET", "/ready"): ("ready", False),
         ("GET", "/analytics"): ("analytics", False),
         ("POST", "/admin/reload"): ("reload", False),
+        ("POST", "/admin/ingest"): ("ingest", False),
     }
+
+    #: Endpoints whose handlers receive the request body as a second
+    #: positional argument (the rest keep the ``handler(params)`` shape).
+    BODY_ENDPOINTS = frozenset({"ingest"})
 
     def __init__(
         self,
@@ -356,22 +366,27 @@ class SearchService(ExpositionServer):
     # -- routing ---------------------------------------------------------------------
 
     def dispatch(
-        self, method: str, path: str, params: Dict[str, List[str]]
+        self,
+        method: str,
+        path: str,
+        params: Dict[str, List[str]],
+        body: Optional[str] = None,
     ) -> Optional[Response]:
         route = self.ROUTES.get((method, path))
         if route is None:
-            return super().dispatch(method, path, params)
+            return super().dispatch(method, path, params, body)
         endpoint, admitted = route
         registry = get_registry()
         registry.counter("serving.http.requests").inc()
         started = time.perf_counter()
         try:
             handler = getattr(self, f"_handle_{endpoint}")
+            args = (params, body) if endpoint in self.BODY_ENDPOINTS else (params,)
             if admitted:
                 with self.admission.admit():
-                    response = handler(params)
+                    response = handler(*args)
             else:
-                response = handler(params)
+                response = handler(*args)
         except AdmissionRejected as rejected:
             response = json_response(
                 {
@@ -545,6 +560,82 @@ class SearchService(ExpositionServer):
                 "drift": None if report is None else report.to_dict(),
             }
         )
+
+    def _handle_ingest(
+        self, params: Dict[str, List[str]], body: Optional[str]
+    ) -> Response:
+        """Apply a corpus delta to the live substrates, then swap the view.
+
+        Body: JSON object ``{"add": [<paper dicts>], "remove": [<ids>]}``
+        (either key optional).  The delta goes through the incremental
+        :meth:`SubstrateStore.apply_delta` path, then the serving view is
+        refreshed behind the same drift gate as ``/admin/reload``: a
+        refused swap answers 409 with the drift report, leaves searches
+        pinned to the pre-delta view, and ``?force=1`` overrides.
+        """
+        from repro.corpus.corpus import CorpusError
+        from repro.corpus.paper import Paper
+
+        if not body or not body.strip():
+            raise BadRequest("missing JSON body")
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError as error:
+            raise BadRequest(f"invalid JSON body: {error}") from None
+        if not isinstance(payload, dict):
+            raise BadRequest("body must be a JSON object")
+        unknown = set(payload) - {"add", "remove"}
+        if unknown:
+            raise BadRequest(
+                f"unknown body keys {sorted(unknown)}; expected 'add'/'remove'"
+            )
+        raw_added = payload.get("add", [])
+        removed = payload.get("remove", [])
+        if not isinstance(raw_added, list) or not all(
+            isinstance(item, dict) for item in raw_added
+        ):
+            raise BadRequest("'add' must be a list of paper objects")
+        if not isinstance(removed, list) or not all(
+            isinstance(item, str) for item in removed
+        ):
+            raise BadRequest("'remove' must be a list of paper-id strings")
+        try:
+            added = [Paper.from_dict(item) for item in raw_added]
+        except (KeyError, TypeError, ValueError) as error:
+            raise BadRequest(f"bad paper in 'add': {error}") from None
+        force = _one(params, "force", "0") in ("1", "true", "yes")
+        try:
+            report = self.pipeline.substrates.apply_delta(
+                added_papers=added, removed_ids=removed
+            )
+        except CorpusError as error:
+            raise BadRequest(str(error)) from None
+        if report.is_noop:
+            return json_response(
+                {"status": "noop", "report": report.to_dict()}
+            )
+        try:
+            view = self.pipeline.refresh(enforce_drift=not force)
+        except DriftExceeded as exceeded:
+            return json_response(
+                {
+                    "status": "refused",
+                    "error": str(exceeded),
+                    "max_drift": exceeded.max_drift,
+                    "drift": exceeded.report.to_dict(),
+                    "report": report.to_dict(),
+                },
+                status=409,
+            )
+        payload_out: Dict[str, Any] = {
+            "status": "ingested",
+            "view_revision": view.revision,
+            "report": report.to_dict(),
+        }
+        drift = self.pipeline.last_drift_report
+        if drift is not None:
+            payload_out["drift"] = drift.to_dict()
+        return json_response(payload_out)
 
     def _handle_reload(self, params: Dict[str, List[str]]) -> Response:
         force = _one(params, "force", "0") in ("1", "true", "yes")

@@ -18,7 +18,8 @@ parallel.
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro import scoring
 from repro.citations.graph import CitationGraph
@@ -26,13 +27,52 @@ from repro.core.assignment import PatternContextAssigner, TextContextAssigner
 from repro.core.context import ContextPaperSet
 from repro.core.patterns import AnalyzedPaperCache
 from repro.core.scores import PrestigeScores
+from repro.core.scores.base import propagate_max_over_descendants
 from repro.core.vectors import PaperVectorStore
-from repro.corpus.corpus import Corpus
+from repro.corpus.corpus import Corpus, CorpusError
+from repro.corpus.paper import Paper
 from repro.index import backends as index_backends
 from repro.index.backends.base import SearchBackend
 from repro.index.search import KeywordSearchEngine
 from repro.obs import get_registry, span
 from repro.ontology.ontology import Ontology
+
+
+@dataclass(frozen=True)
+class DeltaReport:
+    """What one :meth:`SubstrateStore.apply_delta` call actually did."""
+
+    #: Paper ids added / removed, in application order.
+    added: Tuple[str, ...]
+    removed: Tuple[str, ...]
+    #: Per paper-set name, the context ids whose paper sets changed
+    #: (only paper sets that were built and diffed appear here).
+    changed_contexts: Dict[str, Tuple[str, ...]]
+    #: Memoised score keys patched in place vs dropped for lazy recompute.
+    scores_patched: Tuple[str, ...]
+    scores_dropped: Tuple[str, ...]
+    #: True when a non-mutable index backend was rebuilt from the corpus.
+    index_rebuilt: bool
+    #: Substrate revision after the delta (unchanged for a no-op).
+    revision: int
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.added and not self.removed
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able summary (CLI output, the /admin/ingest response)."""
+        return {
+            "added": list(self.added),
+            "removed": list(self.removed),
+            "changed_contexts": {
+                name: list(ids) for name, ids in self.changed_contexts.items()
+            },
+            "scores_patched": list(self.scores_patched),
+            "scores_dropped": list(self.scores_dropped),
+            "index_rebuilt": self.index_rebuilt,
+            "revision": self.revision,
+        }
 
 
 class SubstrateStore:
@@ -260,6 +300,223 @@ class SubstrateStore:
         scores = scorer.score_all(paper_set)
         self._scores[key] = scores
         return scores
+
+    # -- incremental corpus mutation --------------------------------------------------
+
+    def apply_delta(
+        self,
+        added_papers: Iterable[Paper] = (),
+        removed_ids: Iterable[str] = (),
+    ) -> DeltaReport:
+        """Apply a corpus delta, updating built substrates in place.
+
+        Removals are applied before additions (so an id in both lists is
+        replaced).  The delta is validated in full before anything
+        mutates; an invalid delta raises :class:`CorpusError` and leaves
+        the store untouched.  Substrates that were never built stay lazy
+        and simply see the mutated corpus on first access.
+
+        Built substrates update as follows:
+
+        - **index** -- mutated in place when the backend declares
+          ``supports_mutation`` (the ``memory`` backend), otherwise
+          rebuilt from the corpus via the backend's registered ``build``
+          hook (the documented rebuild-on-mutate fallback for read-only
+          formats like ``ondisk``);
+        - **vectors** -- fitted TF-IDF models are delta-updated exactly
+          (ghost terms keep df=0); cached vectors re-weight from retained
+          count maps;
+        - **citation graph** -- spliced canonically (byte-identical to a
+          rebuild from the final corpus);
+        - **text paper set** -- reassigned with warm substrates, then
+          diffed context-by-context against the previous assignment;
+        - **pattern paper set** -- invalidated for lazy rebuild (pattern
+          statistics couple to corpus-global coverage);
+        - **prestige memos** -- functions whose spec declares
+          ``delta_scope="contexts"`` are re-scored only for changed
+          contexts and re-propagated; everything else is dropped for
+          lazy recompute.
+
+        A no-op delta (both lists empty) returns without bumping the
+        revision, so serving views keep their caches.  Otherwise the
+        revision bumps exactly once at the end -- one atomic view swap
+        per delta.
+        """
+        added = list(added_papers)
+        removed = list(dict.fromkeys(removed_ids))
+        with self._build_lock:
+            for pid in removed:
+                self.corpus.paper(pid)  # CorpusError on unknown ids
+            removed_set = set(removed)
+            seen_added: set = set()
+            for paper in added:
+                pid = paper.paper_id
+                if pid in seen_added:
+                    raise CorpusError(f"duplicate paper id {pid!r} in delta")
+                if pid in self.corpus and pid not in removed_set:
+                    raise CorpusError(
+                        f"paper id {pid!r} already in corpus (remove it in the "
+                        f"same delta to replace it)"
+                    )
+                seen_added.add(pid)
+            if not added and not removed:
+                return DeltaReport((), (), {}, (), (), False, self._revision)
+            registry = get_registry()
+            with span(
+                "substrate.delta.apply", added=len(added), removed=len(removed)
+            ):
+                removed_papers = [self.corpus.remove(pid) for pid in removed]
+                for paper in added:
+                    self.corpus.add(paper)
+                added_ids = [paper.paper_id for paper in added]
+
+                index_rebuilt = False
+                if self._index is not None:
+                    with span("substrate.delta.index", backend=self.index_backend):
+                        if getattr(self._index, "supports_mutation", False):
+                            for paper in removed_papers:
+                                self._index.remove_document(paper.paper_id)
+                            for paper in added:
+                                self._index.add_document(paper)
+                        else:
+                            spec = index_backends.get(self.index_backend)
+                            self._index = spec.build(self.corpus)
+                            index_rebuilt = True
+                            registry.counter("substrate.delta.index_rebuilds").inc()
+                    self._keyword_engine = None
+                if self._tokens is not None:
+                    for paper in removed_papers:
+                        self._tokens.evict_paper(paper.paper_id)
+                if self._vectors is not None:
+                    with span("substrate.delta.vectors"):
+                        self._vectors.apply_delta(added, removed_papers)
+                if self._graph is not None:
+                    with span("substrate.delta.graph"):
+                        self._graph.apply_corpus_delta(
+                            self.corpus, added_ids, removed
+                        )
+
+                changed_contexts: Dict[str, Tuple[str, ...]] = {}
+                if self._text_paper_set is not None:
+                    with span("substrate.delta.assign", paper_set="text"):
+                        old_set = self._text_paper_set
+                        assigner = TextContextAssigner(
+                            self.corpus,
+                            self.ontology,
+                            self.vectors,
+                            self.index,
+                            similarity_threshold=self.text_similarity_threshold,
+                        )
+                        new_set = assigner.build(self.training_papers)
+                        self._text_assigner = assigner
+                        self._text_paper_set = new_set
+                        self._representatives = dict(assigner.representatives)
+                        changed_contexts["text"] = self._diff_contexts(
+                            old_set, new_set
+                        )
+                if (
+                    self._pattern_paper_set is not None
+                    or self._pattern_assigner is not None
+                ):
+                    # Pattern mining reads corpus-global statistics (paper
+                    # coverage, cached index lookups); rebuild lazily.
+                    self._pattern_paper_set = None
+                    self._pattern_assigner = None
+
+                scores_patched: List[str] = []
+                scores_dropped: List[str] = []
+                with span("substrate.delta.prestige"):
+                    for key, scores in list(self._scores.items()):
+                        function, _, paper_set_name = key.partition("/")
+                        try:
+                            spec = scoring.get(function)
+                        except ValueError:
+                            spec = None
+                        changed = changed_contexts.get(paper_set_name)
+                        if (
+                            spec is not None
+                            and spec.delta_scope == "contexts"
+                            and scores.pre_propagation is not None
+                            and changed is not None
+                        ):
+                            self._scores[key] = self._patch_scores(
+                                spec,
+                                scores,
+                                self.paper_set(paper_set_name),
+                                changed,
+                            )
+                            scores_patched.append(key)
+                        else:
+                            del self._scores[key]
+                            scores_dropped.append(key)
+
+                registry.counter("substrate.delta.papers_added").inc(len(added))
+                registry.counter("substrate.delta.papers_removed").inc(
+                    len(removed_papers)
+                )
+                registry.counter("substrate.delta.contexts_changed").inc(
+                    sum(len(ids) for ids in changed_contexts.values())
+                )
+                registry.counter("substrate.delta.scores_patched").inc(
+                    len(scores_patched)
+                )
+                registry.counter("substrate.delta.scores_dropped").inc(
+                    len(scores_dropped)
+                )
+        self._bump()
+        return DeltaReport(
+            added=tuple(added_ids),
+            removed=tuple(removed),
+            changed_contexts=changed_contexts,
+            scores_patched=tuple(scores_patched),
+            scores_dropped=tuple(scores_dropped),
+            index_rebuilt=index_rebuilt,
+            revision=self.revision,
+        )
+
+    @staticmethod
+    def _diff_contexts(
+        old_set: ContextPaperSet, new_set: ContextPaperSet
+    ) -> Tuple[str, ...]:
+        """Context ids whose paper sets differ between two assignments."""
+        old = {context.term_id: context.paper_ids for context in old_set}
+        new = {context.term_id: context.paper_ids for context in new_set}
+        changed = [cid for cid in new if old.get(cid) != new[cid]]
+        changed.extend(cid for cid in old if cid not in new)
+        return tuple(changed)
+
+    def _patch_scores(
+        self,
+        spec: "scoring.ScoreFunctionSpec",
+        scores: PrestigeScores,
+        paper_set: ContextPaperSet,
+        changed_ids: Sequence[str],
+    ) -> PrestigeScores:
+        """Re-score only the changed contexts and re-run propagation.
+
+        Valid only for ``delta_scope="contexts"`` functions: their
+        per-context scores depend exclusively on structure induced by the
+        context's own paper ids, so unchanged contexts keep their
+        pre-propagation scores byte-identically.  The pre-propagation map
+        is rebuilt in paper-set iteration order so the patched result is
+        indistinguishable from a from-scratch ``score_all``.
+        """
+        scorer = spec.factory(self)
+        changed = set(changed_ids)
+        fresh = scorer.score_contexts(paper_set, changed)
+        old_pre = scores.pre_propagation or {}
+        pre: Dict[str, Dict[str, float]] = {}
+        for context in paper_set:
+            cid = context.term_id
+            if cid in changed:
+                if cid in fresh:
+                    pre[cid] = fresh[cid]
+            elif cid in old_pre:
+                pre[cid] = old_pre[cid]
+        merged = propagate_max_over_descendants(paper_set, pre)
+        return PrestigeScores(
+            scores.function_name, merged, pre_propagation=pre
+        )
 
     # -- installation (workspace hydration / precomputed artefacts) -----------------
 

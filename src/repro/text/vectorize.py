@@ -184,15 +184,40 @@ class TfidfModel:
         """Build the TF-IDF vector of a term sequence.
 
         Terms unknown to the vocabulary are ignored (standard IR behaviour
-        for query terms never seen at indexing time).
+        for query terms never seen at indexing time).  Terms whose document
+        frequency has dropped to zero -- ghosts left behind by incremental
+        document removal -- are treated exactly like unknown terms, so a
+        delta-updated model vectorizes identically to one fitted from
+        scratch on the surviving documents.
         """
         counts: Dict[int, int] = {}
         for term in terms:
             term_id = self.vocabulary.id_of(term)
-            if term_id is not None:
+            if term_id is not None and self.vocabulary.doc_freq_by_id(term_id) > 0:
                 counts[term_id] = counts.get(term_id, 0) + 1
         weights: Dict[int, float] = {}
         for term_id, count in counts.items():
+            tf = 1.0 + math.log(count) if self.sublinear_tf else float(count)
+            weights[term_id] = tf * self.idf(term_id)
+        vector = SparseVector(weights)
+        return vector.normalized() if normalize else vector
+
+    def vectorize_counts(
+        self, counts: Mapping[str, int], normalize: bool = True
+    ) -> SparseVector:
+        """Vectorize a precomputed ordered ``term -> count`` map.
+
+        Produces the same vector -- weights *and* dict insertion order,
+        which downstream dot products sum in -- as :meth:`vectorize` on a
+        term stream whose first-occurrence order matches the mapping's
+        iteration order.  Lets callers cache analysis output once and
+        re-weight cheaply after incremental IDF updates.
+        """
+        weights: Dict[int, float] = {}
+        for term, count in counts.items():
+            term_id = self.vocabulary.id_of(term)
+            if term_id is None or self.vocabulary.doc_freq_by_id(term_id) <= 0:
+                continue
             tf = 1.0 + math.log(count) if self.sublinear_tf else float(count)
             weights[term_id] = tf * self.idf(term_id)
         vector = SparseVector(weights)

@@ -43,6 +43,30 @@ class Vocabulary:
         self._n_documents += 1
         return term_ids
 
+    def remove_document(self, terms: Iterable[str]) -> List[int]:
+        """Unregister one previously-added document's terms.
+
+        The exact inverse of :meth:`add_document` for the statistics that
+        feed IDF: every distinct term's document frequency is decremented
+        and the document count drops by one.  Term *ids* are never
+        reclaimed -- a term whose frequency reaches zero stays interned
+        with ``df == 0`` so ids assigned to later documents are identical
+        whether or not this document ever existed.  Callers must pass the
+        same term sequence the document was added with.
+        """
+        term_ids = [self.add_term(term) for term in terms]
+        for term_id in set(term_ids):
+            if self._doc_freq[term_id] <= 0:
+                raise ValueError(
+                    f"cannot remove document: term {self._id_to_term[term_id]!r} "
+                    "has zero document frequency (was this document added?)"
+                )
+            self._doc_freq[term_id] -= 1
+        if self._n_documents <= 0:
+            raise ValueError("cannot remove a document from an empty vocabulary")
+        self._n_documents -= 1
+        return term_ids
+
     # -- lookup ---------------------------------------------------------------
 
     def id_of(self, term: str) -> Optional[int]:

@@ -25,6 +25,7 @@ from repro.workspace.builder import (
     BuildReport,
     StaleWorkspaceError,
     WorkspaceBuilder,
+    ingest_delta,
     open_workspace,
     workspace_status,
 )
@@ -33,6 +34,8 @@ from repro.workspace.manifest import (
     MANIFEST_FILE,
     MANIFEST_FORMAT,
     ManifestEntry,
+    manifest_fingerprint,
+    read_generation_chain,
     read_manifest,
     validate_manifest_payload,
     write_manifest,
@@ -51,7 +54,10 @@ __all__ = [
     "WorkspaceBuilder",
     "artifact_fingerprints",
     "artifact_names",
+    "ingest_delta",
+    "manifest_fingerprint",
     "open_workspace",
+    "read_generation_chain",
     "read_manifest",
     "topological_order",
     "validate_manifest_payload",

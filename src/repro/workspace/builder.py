@@ -32,8 +32,11 @@ from repro.obs import get_registry, span
 from repro.workspace.artifact import ARTIFACTS, topological_order
 from repro.workspace.fingerprint import InputDigests, artifact_fingerprints
 from repro.workspace.manifest import (
+    MANIFEST_FILE,
     ManifestEntry,
     entries_from_payload,
+    generation_archive_name,
+    manifest_fingerprint,
     read_manifest,
     write_manifest,
 )
@@ -105,6 +108,11 @@ class WorkspaceBuilder:
     def __init__(self, pipeline, directory: PathLike) -> None:
         self.pipeline = pipeline
         self.directory = Path(directory)
+        #: Lineage the *next* manifest write should carry; set by
+        #: :func:`ingest_delta` before it rebuilds.  None preserves the
+        #: existing manifest's generation/parent/delta (a full rebuild
+        #: refreshes artifacts within the same generation).
+        self._next_lineage: Optional[Dict[str, object]] = None
 
     # -- freshness ----------------------------------------------------------------
 
@@ -225,6 +233,13 @@ class WorkspaceBuilder:
                         )
                     else:
                         actions.append(BuildAction(name, "fresh", 0.0))
+            lineage = self._next_lineage
+            if lineage is None:
+                lineage = {
+                    "generation": int(payload.get("generation", 0)) if payload else 0,
+                    "parent": payload.get("parent") if payload else None,
+                    "delta": payload.get("delta") if payload else None,
+                }
             write_manifest(
                 self.directory,
                 {
@@ -233,6 +248,13 @@ class WorkspaceBuilder:
                     "training": inputs.training,
                 },
                 entries,
+                generation=int(lineage["generation"]),
+                parent=lineage["parent"],
+                delta=lineage["delta"],
+            )
+            self._next_lineage = None
+            registry.gauge("workspace.generation.current").set(
+                float(lineage["generation"])
             )
         return BuildReport(directory=str(self.directory), actions=actions)
 
@@ -286,3 +308,67 @@ def open_workspace(pipeline, directory: PathLike, strict: bool = True) -> int:
 def workspace_status(pipeline, directory: PathLike) -> List[ArtifactStatus]:
     """Convenience wrapper: per-artifact freshness for a data directory."""
     return WorkspaceBuilder(pipeline, directory).status()
+
+
+def ingest_delta(
+    pipeline,
+    directory: PathLike,
+    added_papers=(),
+    removed_ids=(),
+):
+    """Apply a corpus delta and persist it as a new workspace generation.
+
+    The workspace at ``directory`` must already hold a manifest (built
+    against ``pipeline``'s pre-delta corpus).  The delta is applied to
+    the live substrates via :meth:`SubstrateStore.apply_delta` -- the
+    incremental path, not a rebuild -- then the superseded manifest is
+    archived as ``manifest.gen-<N>.json`` and the changed artifacts are
+    re-serialised from the already-updated in-memory state under
+    generation N+1, chained to the parent by
+    :func:`~repro.workspace.manifest.manifest_fingerprint`.
+
+    Returns ``(delta_report, build_report)``; a no-op delta (both lists
+    empty or cancelling) archives nothing and returns
+    ``(delta_report, None)``.
+    """
+    directory = Path(directory)
+    payload = read_manifest(directory)
+    if payload is None:
+        raise StaleWorkspaceError(
+            f"workspace {directory} has no manifest; run a full build "
+            f"before ingesting deltas"
+        )
+    parent_generation = int(payload.get("generation", 0))
+    parent_fingerprint = manifest_fingerprint(payload)
+    registry = get_registry()
+    with span(
+        "workspace.ingest.run",
+        directory=str(directory),
+        parent_generation=parent_generation,
+    ) as trace:
+        report = pipeline.substrates.apply_delta(
+            added_papers=added_papers, removed_ids=removed_ids
+        )
+        if report.is_noop:
+            trace.set(generation=parent_generation, noop=True)
+            return report, None
+        # Archive the parent manifest before build() overwrites it; the
+        # artifact files themselves are overwritten in place (generations
+        # share artifact storage -- the chain records *what changed*, not
+        # full snapshots).
+        archive = directory / generation_archive_name(parent_generation)
+        archive.write_bytes((directory / MANIFEST_FILE).read_bytes())
+        builder = WorkspaceBuilder(pipeline, directory)
+        builder._next_lineage = {
+            "generation": parent_generation + 1,
+            "parent": parent_fingerprint,
+            "delta": {"added": list(report.added), "removed": list(report.removed)},
+        }
+        build_report = builder.build()
+        trace.set(
+            generation=parent_generation + 1,
+            added=len(report.added),
+            removed=len(report.removed),
+        )
+    registry.counter("workspace.ingest.generations").inc()
+    return report, build_report

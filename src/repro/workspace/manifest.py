@@ -10,6 +10,9 @@ Schema (``repro/workspace-manifest/v1``)::
 
     {
       "format": "repro/workspace-manifest/v1",
+      "generation": 2,
+      "parent": "<sha256 of the parent manifest payload>",
+      "delta": {"added": ["P123"], "removed": ["P045"]},
       "inputs": {"corpus": "<sha256>", "ontology": "...", "training": "..."},
       "artifacts": {
         "<name>": {
@@ -24,12 +27,23 @@ Schema (``repro/workspace-manifest/v1``)::
       }
     }
 
+``generation``, ``parent`` and ``delta`` are optional -- manifests written
+before incremental ingestion existed lack them and read as generation 0
+with no parent.  Each delta ingestion bumps the generation, records the
+ids it added/removed, and chains to its parent by
+:func:`manifest_fingerprint` of the parent payload; the superseded
+manifest is archived as ``manifest.gen-<N>.json`` so the lineage stays
+walkable (:func:`read_generation_chain`).  ``manifest.json`` itself is
+always the *newest* generation, which is why ``open_workspace`` needs no
+lineage awareness to load the latest state.
+
 ``tools/check_workspace_manifest.py`` validates the same schema from the
 command line via :func:`validate_manifest_payload`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -88,6 +102,37 @@ def validate_manifest_payload(payload: object, origin: str = "manifest") -> Dict
             f"{origin}: 'inputs' must map exactly corpus/ontology/training "
             "to digests"
         )
+    generation = payload.get("generation", 0)
+    if not isinstance(generation, int) or isinstance(generation, bool) or generation < 0:
+        raise ValueError(
+            f"{origin}: 'generation' must be a non-negative integer, "
+            f"got {generation!r}"
+        )
+    parent = payload.get("parent")
+    if parent is not None and not isinstance(parent, str):
+        raise ValueError(f"{origin}: 'parent' must be a fingerprint string or null")
+    if generation > 0 and parent is None:
+        raise ValueError(
+            f"{origin}: generation {generation} must name a 'parent' fingerprint"
+        )
+    if generation == 0 and parent is not None:
+        raise ValueError(f"{origin}: generation 0 cannot have a 'parent'")
+    delta = payload.get("delta")
+    if delta is not None:
+        if not isinstance(delta, dict) or set(delta) != {"added", "removed"}:
+            raise ValueError(
+                f"{origin}: 'delta' must map exactly added/removed to id lists"
+            )
+        for key in ("added", "removed"):
+            ids = delta[key]
+            if not isinstance(ids, list) or not all(
+                isinstance(pid, str) for pid in ids
+            ):
+                raise ValueError(
+                    f"{origin}: 'delta'.{key} must be a list of paper-id strings"
+                )
+        if generation == 0:
+            raise ValueError(f"{origin}: generation 0 cannot carry a 'delta'")
     artifacts = payload.get("artifacts")
     if not isinstance(artifacts, dict):
         raise ValueError(f"{origin}: 'artifacts' must be a JSON object")
@@ -132,20 +177,96 @@ def write_manifest(
     directory: PathLike,
     inputs: Dict[str, str],
     entries: Dict[str, ManifestEntry],
+    generation: int = 0,
+    parent: Optional[str] = None,
+    delta: Optional[Dict[str, List[str]]] = None,
 ) -> Path:
-    """Write ``manifest.json`` atomically-ish (write then replace)."""
+    """Write ``manifest.json`` atomically-ish (write then replace).
+
+    ``generation``/``parent``/``delta`` record the workspace's place in
+    its generation chain; full builds of a fresh workspace use the
+    defaults (generation 0, no parent).
+    """
     path = Path(directory) / MANIFEST_FILE
-    payload = {
+    payload: Dict[str, object] = {
         "format": MANIFEST_FORMAT,
+        "generation": generation,
+        "parent": parent,
         "inputs": dict(inputs),
         "artifacts": {name: asdict(entry) for name, entry in sorted(entries.items())},
     }
+    if delta is not None:
+        payload["delta"] = {
+            "added": list(delta.get("added", ())),
+            "removed": list(delta.get("removed", ())),
+        }
+    validate_manifest_payload(payload, origin=str(path))
     tmp = path.with_suffix(".json.tmp")
     with open(tmp, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")
     tmp.replace(path)
     return path
+
+
+def manifest_fingerprint(payload: Dict[str, object]) -> str:
+    """SHA-256 over the canonical JSON of a manifest payload.
+
+    This is the chaining key of the generation lineage: a child manifest
+    stores the fingerprint of its parent's *entire payload*, so any
+    tampering with an archived generation breaks the chain visibly.
+    """
+    encoded = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def generation_archive_name(generation: int) -> str:
+    """File name a superseded generation's manifest is archived under."""
+    return f"manifest.gen-{generation}.json"
+
+
+def read_generation_chain(directory: PathLike) -> List[Dict[str, object]]:
+    """The manifest lineage, newest first.
+
+    Element 0 is the live ``manifest.json``; each subsequent element is
+    the archived parent (``manifest.gen-<N>.json``) whose
+    :func:`manifest_fingerprint` matches the child's ``parent`` field.
+    The walk stops cleanly when an archive is absent (archives may be
+    pruned) and raises ``ValueError`` when a present archive does not
+    match the fingerprint its child recorded, or when generation numbers
+    do not descend by exactly one.
+    """
+    directory = Path(directory)
+    payload = read_manifest(directory)
+    if payload is None:
+        return []
+    chain: List[Dict[str, object]] = [payload]
+    while True:
+        child = chain[-1]
+        generation = int(child.get("generation", 0))
+        parent_fingerprint = child.get("parent")
+        if generation == 0 or parent_fingerprint is None:
+            return chain
+        archive = directory / generation_archive_name(generation - 1)
+        if not archive.exists():
+            return chain  # older generations pruned; lineage ends here
+        with open(archive, "r", encoding="utf-8") as handle:
+            try:
+                parent = json.load(handle)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{archive}: corrupt JSON ({error})") from error
+        parent = validate_manifest_payload(parent, origin=str(archive))
+        if manifest_fingerprint(parent) != parent_fingerprint:
+            raise ValueError(
+                f"{archive}: fingerprint does not match the 'parent' recorded "
+                f"by generation {generation}"
+            )
+        if int(parent.get("generation", 0)) != generation - 1:
+            raise ValueError(
+                f"{archive}: generation {parent.get('generation', 0)} does not "
+                f"precede child generation {generation}"
+            )
+        chain.append(parent)
 
 
 def entries_from_payload(payload: Dict[str, object]) -> Dict[str, ManifestEntry]:

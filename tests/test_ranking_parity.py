@@ -117,6 +117,110 @@ class TestRankingParity:
                 assert _hit_rows(hits) == expected["search"], (query, use_cache)
 
 
+class TestDeltaParity:
+    """A delta-reached substrate ranks byte-identically to a scratch build.
+
+    The incremental-update acceptance criterion: starting from a corpus
+    that is missing the demo's last papers and carries extra transient
+    ones, one ``apply_delta`` (removing the noise, adding the held-out
+    papers) must land on a substrate whose rankings equal the golden
+    files for *every* registered score function -- same floats, same
+    order.  Prestige memos are warmed *before* the delta so the test
+    exercises the per-context patch path, not a trivial cold rebuild.
+    """
+
+    HELD_OUT = 4
+
+    @pytest.fixture(scope="class")
+    def delta_outcome(self, golden, pipeline):
+        from repro import scoring
+        from repro.corpus.corpus import Corpus
+        from repro.corpus.paper import Paper
+        from repro.pipeline import Pipeline
+
+        papers = list(pipeline.corpus)
+        held_out = papers[-self.HELD_OUT:]
+        base = Corpus()
+        for paper in papers[: -self.HELD_OUT]:
+            base.add(paper)
+        noise = [
+            Paper(
+                paper_id=f"ZZNOISE{i:02d}",
+                title="transient noise paper on ranking functions",
+                abstract="temporarily present, removed by the delta",
+                body="citation graph literature search context",
+                references=(papers[i].paper_id,),
+            )
+            for i in range(3)
+        ]
+        for paper in noise:
+            base.add(paper)
+        delta_pipeline = Pipeline(
+            corpus=base,
+            ontology=pipeline.ontology,
+            training_papers=pipeline.training_papers,
+        )
+        warmed = sorted(
+            {tuple(combo.split("/")[:2]) for combo in golden["combos"]}
+        )
+        for function, paper_set in warmed:
+            delta_pipeline.prestige(function, paper_set)
+        report = delta_pipeline.substrates.apply_delta(
+            added_papers=held_out,
+            removed_ids=[paper.paper_id for paper in noise],
+        )
+        expected_patched = {
+            f"{function}/{paper_set}"
+            for function, paper_set in warmed
+            if scoring.get(function).delta_scope == "contexts"
+            and paper_set == "text"
+        }
+        return delta_pipeline, report, expected_patched
+
+    def test_delta_report_shape(self, delta_outcome, pipeline):
+        delta_pipeline, report, _ = delta_outcome
+        assert len(report.added) == self.HELD_OUT
+        assert len(report.removed) == 3
+        # Final insertion order must equal the scratch corpus order --
+        # the precondition for byte-identical downstream substrates.
+        assert [p.paper_id for p in delta_pipeline.corpus] == [
+            p.paper_id for p in pipeline.corpus
+        ]
+
+    def test_contexts_scoped_functions_were_patched_not_dropped(
+        self, delta_outcome
+    ):
+        _, report, expected_patched = delta_outcome
+        assert set(report.scores_patched) == expected_patched
+        assert expected_patched, "delta must exercise the patch path"
+        assert not expected_patched & set(report.scores_dropped)
+
+    def test_delta_substrate_matches_golden_for_every_function(
+        self, golden, delta_outcome
+    ):
+        delta_pipeline, _, _ = delta_outcome
+        mismatches = []
+        for combo in _combo_cases(golden):
+            function, paper_set, strategy = combo.split("/")
+            engine = delta_pipeline.search_engine(function, paper_set, strategy)
+            for query, expected in golden["combos"][combo].items():
+                hits = engine.search(query, limit=10)
+                if _hit_rows(hits) != expected["search"]:
+                    mismatches.append((combo, query, "search"))
+                    continue
+                grouped = [
+                    [
+                        group.context_id,
+                        group.selection_strength,
+                        _hit_rows(group.hits),
+                    ]
+                    for group in engine.search_grouped(query, per_context_limit=5)
+                ]
+                if grouped != expected["grouped"]:
+                    mismatches.append((combo, query, "grouped"))
+        assert mismatches == []
+
+
 class TestBackendParity:
     """Every registered index backend must reproduce the golden rankings.
 

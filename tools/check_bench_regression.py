@@ -23,7 +23,11 @@ Gates:
   (``benchmarks/test_perf_index_backend.py``);
 - ``BENCH_serving_http.json`` -- the HTTP service's closed-loop
   sustained throughput must stay **at or above** its QPS floor
-  (``benchmarks/test_perf_serving_http.py``).
+  (``benchmarks/test_perf_serving_http.py``);
+- ``BENCH_incremental_update.json`` -- absorbing a 1% corpus delta and
+  answering a probe query must stay **at or above** its speedup floor
+  versus a from-scratch rebuild of the same final corpus
+  (``benchmarks/test_perf_incremental.py``).
 
 When a result file does not exist (that bench has not been run on this
 checkout) its gate is skipped with exit 0 -- the gate guards recorded
@@ -157,6 +161,16 @@ GATES = (
         label="HTTP serving throughput",
         unit=" qps",
         hint="see benchmarks/test_perf_serving_http.py",
+    ),
+    Gate(
+        payload="BENCH_incremental_update.json",
+        metric="speedup",
+        floor_key="floor",
+        default_floor=20.0,
+        direction="min",
+        label="incremental-update speedup",
+        unit="x",
+        hint="see benchmarks/test_perf_incremental.py",
     ),
 )
 

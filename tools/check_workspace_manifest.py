@@ -14,8 +14,11 @@ Default mode checks the registry itself -- the invariants a bad edit to
 With ``--manifest PATH`` it additionally validates a built workspace's
 ``manifest.json``: schema (via ``validate_manifest_payload``), every
 entry names a registered artifact, recorded schema versions and
-dependency edges match the registry, and every referenced artifact file
-exists on disk.
+dependency edges match the registry, every referenced artifact file
+exists on disk, and -- when the workspace carries generations -- the
+lineage chain is sound: each archived ``manifest.gen-<N>.json`` hashes
+to the ``parent`` fingerprint its child recorded and generation numbers
+descend monotonically by one (via ``read_generation_chain``).
 
 Exit status 1 when any violation is found; intended for tools/ci.sh.
 """
@@ -34,6 +37,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.pipeline import Pipeline  # noqa: E402
 from repro.workspace import (  # noqa: E402
     ARTIFACTS,
+    read_generation_chain,
     topological_order,
     validate_manifest_payload,
 )
@@ -107,7 +111,27 @@ def check_manifest(path: Path) -> list:
             )
         if not (workspace / entry["file"]).exists():
             problems.append(f"{path}: {name}: {entry['file']} missing on disk")
+    problems += check_generation_chain(workspace, payload)
     return problems
+
+
+def check_generation_chain(workspace: Path, payload: dict) -> list:
+    """Validate the workspace's generation lineage, if it has one.
+
+    ``read_generation_chain`` re-verifies every link: each archived
+    ``manifest.gen-<N>.json`` must validate, hash to the ``parent``
+    fingerprint its child recorded, and carry a generation exactly one
+    below its child's.  A pruned tail (missing archive) is fine -- the
+    chain just ends there -- but a broken link is a corruption signal
+    worth failing CI over.
+    """
+    if payload.get("generation", 0) == 0:
+        return []  # fresh or legacy workspace: no lineage to walk
+    try:
+        read_generation_chain(workspace)
+    except ValueError as error:
+        return [f"{workspace}: generation chain broken: {error}"]
+    return []
 
 
 def main(argv=None) -> int:
